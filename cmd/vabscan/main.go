@@ -1,0 +1,133 @@
+// Command vabscan is a link-budget explorer for VAB deployments: it prints
+// the itemized sonar-equation terms for a configuration and sweeps range to
+// show the predicted operating envelope.
+//
+// Usage:
+//
+//	vabscan -env river -elements 16 -range 300
+//	vabscan -env ocean -elements 8 -orient 45 -rate 250
+//	vabscan -env river -baseline            # prior-art single element
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"vab/internal/baseline"
+	"vab/internal/core"
+	"vab/internal/dsp"
+	"vab/internal/ocean"
+	"vab/internal/sim"
+)
+
+func main() {
+	envName := flag.String("env", "river", "environment: river, ocean, tank")
+	elements := flag.Int("elements", core.DefaultNodeElements, "van atta array size")
+	useBaseline := flag.Bool("baseline", false, "use the prior-art single-element design")
+	rangeM := flag.Float64("range", 300, "operating range in m for the term breakdown")
+	orientDeg := flag.Float64("orient", 0, "node orientation in degrees")
+	rate := flag.Float64("rate", 500, "chip rate (detection bandwidth), chips/s")
+	source := flag.Float64("sl", core.DefaultSourceLevelDB, "source level, dB re 1 µPa @ 1 m")
+	captureOut := flag.String("capture", "", "write one simulated round-trip capture to this file (VABC format)")
+	flag.Parse()
+
+	var env *ocean.Environment
+	switch *envName {
+	case "river":
+		env = ocean.CharlesRiver()
+	case "ocean":
+		env = ocean.AtlanticCoastal()
+	case "tank":
+		env = ocean.TestTank()
+	default:
+		fatal(fmt.Errorf("unknown environment %q", *envName))
+	}
+
+	var design core.Design
+	if *useBaseline {
+		design = baseline.New()
+	} else {
+		d, err := core.NewVanAttaDesign(*elements, env, core.DefaultCarrierHz)
+		if err != nil {
+			fatal(err)
+		}
+		design = d
+	}
+
+	b := core.NewLinkBudget(env, design)
+	b.Orientation = *orientDeg * math.Pi / 180
+	b.ChipRate = *rate
+	b.SourceLevelDB = *source
+	if *useBaseline {
+		b.SIPenaltyDB = core.CarrierBandSIPenaltyDB
+	}
+	if err := b.Validate(); err != nil {
+		fatal(err)
+	}
+
+	terms := b.TermsAt(*rangeM)
+	fmt.Printf("Link budget: %s in %s at %.0f m, orientation %.0f°\n\n",
+		design.Name(), env.Name, *rangeM, *orientDeg)
+	tt := sim.NewTable("", "term", "value")
+	tt.AddRowf("source level (dB re µPa @1m)", terms.SourceLevelDB)
+	tt.AddRowf("one-way transmission loss (dB)", terms.OneWayTLDB)
+	tt.AddRowf("node conversion gain (dB)", terms.NodeGainDB)
+	tt.AddRowf("noise in detection bin (dB)", terms.NoiseLevelDB)
+	tt.AddRowf("diversity gain (dB)", terms.DiversityDB)
+	tt.AddRowf("self-interference penalty (dB)", terms.SIPenaltyDB)
+	tt.AddRowf("tone SNR (dB)", terms.ToneSNRdB)
+	tt.AddRowf("Rician K (dB)", terms.RicianKdB)
+	tt.AddRowf("predicted BER", terms.PredictedBER)
+	tt.AddRowf("delay spread (ms)", terms.DelaySpreadSec*1e3)
+	fmt.Print(tt.String())
+
+	fmt.Printf("\nmax range at BER 1e-3: %.0f m\n\n", b.MaxRange(1e-3, 20000))
+
+	sweep := sim.NewTable("Range sweep", "range_m", "snr_db", "ber")
+	for _, r := range []float64{10, 25, 50, 100, 200, 300, 400, 600, 1000} {
+		sweep.AddRowf(r, b.ToneSNRdB(r), b.BER(r))
+	}
+	fmt.Print(sweep.String())
+
+	if *captureOut != "" {
+		if err := dumpCapture(*captureOut, env, design, *rangeM, *orientDeg); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote capture to %s\n", *captureOut)
+	}
+}
+
+// dumpCapture runs one waveform-level query-response round and writes the
+// raw hydrophone capture for external analysis.
+func dumpCapture(path string, env *ocean.Environment, design core.Design, rangeM, orientDeg float64) error {
+	s, err := core.NewSystem(core.SystemConfig{
+		Env: env, Design: design, Range: rangeM,
+		Orientation: orientDeg * math.Pi / 180,
+		NodeAddr:    1, Seed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	s.WakeNode(3600)
+	capture, err := s.RecordRound()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return dsp.WriteCapture(f, &dsp.Capture{
+		SampleRate: s.Reader.Config().PHY.SampleRate,
+		CarrierHz:  core.DefaultCarrierHz,
+		Samples:    capture,
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vabscan:", err)
+	os.Exit(1)
+}

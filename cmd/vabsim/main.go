@@ -1,0 +1,76 @@
+// Command vabsim regenerates the paper's evaluation artifacts: every table
+// and figure in the reproduction's experiment index (E1…E10).
+//
+// Usage:
+//
+//	vabsim -list               # the experiment inventory
+//	vabsim -exp all            # run everything at paper scale
+//	vabsim -exp E3             # just the head-to-head table
+//	vabsim -exp E1 -trials 200 # quicker Monte-Carlo
+//	vabsim -exp E6 -csv        # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vab/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment ID (E1..E10, X1..), or 'all'")
+	trials := flag.Int("trials", 0, "Monte-Carlo trials per cell (0 = experiment default)")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	list := flag.Bool("list", false, "list the experiment inventory and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			res, err := experiments.Run(id, experiments.Options{Trials: 1, Seed: 1})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-4s %-7s %s\n", res.ID, res.Kind, res.Title)
+		}
+		return
+	}
+
+	opts := experiments.Options{Trials: *trials, Seed: *seed}
+	var results []*experiments.Result
+	if strings.EqualFold(*exp, "all") {
+		all, err := experiments.RunAll(opts)
+		if err != nil {
+			fatal(err)
+		}
+		results = all
+	} else {
+		res, err := experiments.Run(strings.ToUpper(*exp), opts)
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, res)
+	}
+
+	for i, res := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		if *csv {
+			fmt.Printf("# %s: %s\n", res.ID, res.Title)
+			fmt.Print(res.Table.CSV())
+		} else {
+			fmt.Print(res.Table.String())
+		}
+		for _, n := range res.Notes {
+			fmt.Printf("  » %s\n", n)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vabsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,38 @@
+// Ocean trial: replicates the paper's ocean validation campaign — the VAB
+// node in the Atlantic coastal preset, BER measured against range, with the
+// river curve alongside for contrast (experiment E6 of the reproduction).
+//
+//	go run ./examples/oceantrial
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vab/internal/experiments"
+)
+
+func main() {
+	res, err := experiments.E6Ocean(experiments.Options{Trials: 400, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Table.String())
+	fmt.Println()
+	for _, n := range res.Notes {
+		fmt.Println("»", n)
+	}
+
+	// Headline numbers.
+	fmt.Printf("\nocean max range at BER 1e-3: %.0f m\n", res.Metrics["ocean_range_at_target"])
+	fmt.Printf("river max range at BER 1e-3: %.0f m\n", res.Metrics["river_range_at_target"])
+
+	// The campaign-scale aggregate (E10) reproduces the >1,500-trial
+	// evaluation across both environments.
+	campaign, err := experiments.E10Campaign(experiments.Options{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncampaign size: %.0f trials across river and ocean\n",
+		campaign.Metrics["total_trials"])
+}

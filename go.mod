@@ -1,0 +1,3 @@
+module vab
+
+go 1.23

@@ -1,0 +1,69 @@
+// Package baseline implements the prior-art comparison point for VAB: a
+// single-element piezo-acoustic backscatter node (the PAB architecture of
+// earlier underwater backscatter systems). It scatters omnidirectionally
+// from one transducer, switches between a short and an open without a
+// matching network, and therefore realizes both a much smaller conversion
+// aperture and a poorer effective modulation depth than the Van Atta
+// design — the two deficits the paper's 15× range comparison quantifies.
+package baseline
+
+import (
+	"math"
+
+	"vab/internal/piezo"
+)
+
+// PABDesign is the single-element prior-art node. It satisfies core.Design.
+type PABDesign struct {
+	Trans *piezo.Transducer
+	// OnLoad/OffLoad are the unmatched switch states. Without a matching
+	// network, the "absorptive" state still reflects a large fraction of
+	// the incident energy, halving the usable modulation contrast at the
+	// fundamental compared to a matched design.
+	OnLoad, OffLoad complex128
+}
+
+// New returns the reference PAB node: the same transducer model as VAB
+// (fair comparison), shorted/open switching, no matching network.
+func New() *PABDesign {
+	return &PABDesign{
+		Trans:  piezo.MustDefault(),
+		OnLoad: piezo.ShortLoad,
+		// A bare analog switch's off state presents its driver and package
+		// parasitics rather than a matched termination; near the motional
+		// resistance of the transducer that costs roughly half of the
+		// achievable reflection contrast.
+		OffLoad: complex(30, 0),
+	}
+}
+
+// Name implements core.Design.
+func (d *PABDesign) Name() string { return "pab-single" }
+
+// Elements implements core.Design.
+func (d *PABDesign) Elements() int { return 1 }
+
+// ScatterField implements core.Design: a single omnidirectional element has
+// unit field gain at every orientation, shaped only by the transduction
+// roll-off (applied twice, receive and re-radiate).
+func (d *PABDesign) ScatterField(fHz, theta float64) complex128 {
+	r := d.Trans.Response(fHz)
+	return r * r
+}
+
+// ModulationDepth implements core.Design.
+func (d *PABDesign) ModulationDepth(fHz float64) float64 {
+	return d.Trans.ModulationDepth(fHz, d.OnLoad, d.OffLoad)
+}
+
+// DepthPenaltyDB returns how many dB of modulation contrast the unmatched
+// design loses against an ideally matched switch at fHz (a positive
+// number), one of the terms in the paper's head-to-head decomposition.
+func (d *PABDesign) DepthPenaltyDB(fHz float64) float64 {
+	matched := d.Trans.ModulationDepth(fHz, piezo.ShortLoad, d.Trans.MatchedLoad(fHz))
+	own := d.ModulationDepth(fHz)
+	if own <= 0 {
+		return 60
+	}
+	return 20 * math.Log10(matched/own)
+}

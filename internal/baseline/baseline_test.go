@@ -1,0 +1,64 @@
+package baseline
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"vab/internal/piezo"
+)
+
+const fc = 18500.0
+
+func TestMetadata(t *testing.T) {
+	d := New()
+	if d.Name() != "pab-single" {
+		t.Errorf("name %q", d.Name())
+	}
+	if d.Elements() != 1 {
+		t.Errorf("elements %d", d.Elements())
+	}
+}
+
+func TestScatterFieldOmnidirectional(t *testing.T) {
+	d := New()
+	g0 := d.ScatterField(fc, 0)
+	for _, th := range []float64{0.3, 0.8, 1.4, -1.0} {
+		if g := d.ScatterField(fc, th); g != g0 {
+			t.Errorf("single element must be orientation-independent: %v vs %v", g, g0)
+		}
+	}
+	// At resonance |field| ≈ 1 (unit scatterer reference).
+	if m := cmplx.Abs(g0); m < 0.95 || m > 1.05 {
+		t.Errorf("|field| at resonance = %v", m)
+	}
+	// Off resonance it rolls off with the transduction response squared.
+	if m := cmplx.Abs(d.ScatterField(fc*1.2, 0)); m > 0.2 {
+		t.Errorf("off-resonance field %v should collapse", m)
+	}
+}
+
+func TestModulationDepthBelowMatched(t *testing.T) {
+	d := New()
+	own := d.ModulationDepth(fc)
+	matched := d.Trans.ModulationDepth(fc, piezo.ShortLoad, d.Trans.MatchedLoad(fc))
+	if own >= matched {
+		t.Errorf("unmatched depth %v should trail matched %v", own, matched)
+	}
+	if own < 0.1 || own > 0.45 {
+		t.Errorf("unmatched depth %v outside expected band", own)
+	}
+}
+
+func TestDepthPenaltyPositive(t *testing.T) {
+	d := New()
+	pen := d.DepthPenaltyDB(fc)
+	if pen <= 0 || pen > 20 {
+		t.Errorf("penalty %v dB", pen)
+	}
+	// Degenerate: zero own depth reports the cap.
+	d2 := New()
+	d2.OffLoad = d2.OnLoad
+	if got := d2.DepthPenaltyDB(fc); got != 60 {
+		t.Errorf("degenerate penalty %v, want 60", got)
+	}
+}

@@ -1,0 +1,380 @@
+// Package channel turns the ocean, piezo and vanatta models into a sampled
+// complex-baseband link simulator: the waveform a VAB reader's hydrophone
+// actually digitizes, including multipath, ambient noise, direct-path
+// self-interference from the projector, and slow channel fading.
+//
+// Signals are complex envelopes around the carrier frequency. Amplitudes are
+// in µPa (the underwater reference pressure), so levels compose directly
+// with the dB re 1 µPa conventions of the ocean package: a projector with
+// source level SL dB re 1 µPa @ 1 m transmits an envelope of magnitude
+// 10^(SL/20).
+package channel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vab/internal/dsp"
+	"vab/internal/ocean"
+)
+
+// Tap is one arrival of the tapped-delay-line channel in sample units.
+type Tap struct {
+	DelaySamples float64
+	Gain         complex128
+}
+
+// Config describes one reader↔node acoustic link.
+type Config struct {
+	Env        *ocean.Environment
+	CarrierHz  float64
+	SampleRate float64 // baseband sample rate, Hz
+
+	ReaderDepth float64 // m
+	NodeDepth   float64 // m
+	Range       float64 // horizontal range, m
+
+	// MaxOrder and FloorDB tune multipath enumeration (see ocean package);
+	// zero values select defaults.
+	MaxOrder int
+	FloorDB  float64
+
+	// SelfInterferenceDB sets the direct projector→hydrophone leakage level
+	// relative to the source level at 1 m (negative number; typical reader
+	// assemblies achieve −20…−40 dB of acoustic isolation).
+	SelfInterferenceDB float64
+
+	// DisableNoise turns off ambient noise injection (unit tests).
+	DisableNoise bool
+	// ColoredNoise shapes the ambient noise to the Wenz spectrum across
+	// the baseband bandwidth instead of injecting it white (same total
+	// power). The Wenz PSD falls ~20 dB/decade through the VAB band, so
+	// the noise under the lower subcarrier is a little heavier than under
+	// the upper one — a second-order effect kept optional so the
+	// calibrated anchors stay put.
+	ColoredNoise bool
+	// DisableFading freezes the channel in time.
+	DisableFading bool
+
+	Seed int64
+}
+
+// Link is an instantiated channel between a reader and a node position.
+// It is not safe for concurrent use (it owns a random stream).
+type Link struct {
+	cfg  Config
+	down []Tap // reader → node
+	up   []Tap // node → reader (reciprocal geometry)
+
+	noiseAmp float64   // per-sample std dev of ambient noise envelope, µPa
+	shaper   *dsp.CFIR // nil for white noise
+	leak     complex128
+	fading   *ocean.FadingProcess
+	rng      *rand.Rand
+}
+
+// New builds a link. The multipath geometry is computed once; fading evolves
+// per sample as waveforms pass through.
+func New(cfg Config) (*Link, error) {
+	if cfg.Env == nil {
+		return nil, fmt.Errorf("channel: environment required")
+	}
+	if err := cfg.Env.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CarrierHz <= 0 || cfg.SampleRate <= 0 {
+		return nil, fmt.Errorf("channel: carrier %.3g Hz and sample rate %.3g Hz must be positive", cfg.CarrierHz, cfg.SampleRate)
+	}
+	if cfg.Range <= 0 {
+		return nil, fmt.Errorf("channel: range %.3g m must be positive", cfg.Range)
+	}
+	if cfg.ReaderDepth <= 0 || cfg.ReaderDepth > cfg.Env.Depth ||
+		cfg.NodeDepth <= 0 || cfg.NodeDepth > cfg.Env.Depth {
+		return nil, fmt.Errorf("channel: depths (%.2f, %.2f) must lie inside the water column (0, %.2f]",
+			cfg.ReaderDepth, cfg.NodeDepth, cfg.Env.Depth)
+	}
+	mp := ocean.DefaultMultipathConfig(cfg.CarrierHz)
+	if cfg.MaxOrder > 0 {
+		mp.MaxOrder = cfg.MaxOrder
+	}
+	if cfg.FloorDB > 0 {
+		mp.MinRelAmpDB = cfg.FloorDB
+	}
+	l := &Link{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+
+	downArr := cfg.Env.Multipath(ocean.Geometry{
+		SourceDepth: cfg.ReaderDepth, ReceiverDepth: cfg.NodeDepth, Range: cfg.Range,
+	}, mp)
+	upArr := cfg.Env.Multipath(ocean.Geometry{
+		SourceDepth: cfg.NodeDepth, ReceiverDepth: cfg.ReaderDepth, Range: cfg.Range,
+	}, mp)
+	l.down = toTaps(downArr, cfg.SampleRate)
+	l.up = toTaps(upArr, cfg.SampleRate)
+
+	if !cfg.DisableNoise {
+		nl := cfg.Env.NoiseLevel(cfg.CarrierHz, cfg.SampleRate)
+		l.noiseAmp = math.Pow(10, nl/20)
+		if cfg.ColoredNoise {
+			shaper, err := wenzShaper(cfg.Env, cfg.CarrierHz, cfg.SampleRate)
+			if err != nil {
+				return nil, err
+			}
+			l.shaper = shaper
+		}
+	}
+	if cfg.SelfInterferenceDB != 0 {
+		l.leak = complex(math.Pow(10, cfg.SelfInterferenceDB/20), 0)
+	}
+	if !cfg.DisableFading {
+		spread := cfg.Env.DopplerSpread(cfg.CarrierHz, 0)
+		l.fading = ocean.NewFadingProcess(spread, cfg.SampleRate, 0.3, l.rng)
+	}
+	return l, nil
+}
+
+func toTaps(arr []ocean.Arrival, fs float64) []Tap {
+	taps := make([]Tap, len(arr))
+	for i, a := range arr {
+		taps[i] = Tap{DelaySamples: a.Delay * fs, Gain: a.Gain}
+	}
+	return taps
+}
+
+// DownTaps returns a copy of the reader→node taps.
+func (l *Link) DownTaps() []Tap { return append([]Tap(nil), l.down...) }
+
+// UpTaps returns a copy of the node→reader taps.
+func (l *Link) UpTaps() []Tap { return append([]Tap(nil), l.up...) }
+
+// applyTDL convolves x with the tapped delay line, rounding tap delays to
+// whole samples relative to the earliest tap (the residual carrier phase of
+// each arrival is already folded into the tap gain by the ocean package, so
+// sub-sample envelope alignment is a second-order effect at VAB bandwidths).
+// The output has the same length as the input; the common bulk delay is
+// removed so the caller does not pay the absolute propagation latency in
+// buffer length.
+func applyTDL(x []complex128, taps []Tap) []complex128 {
+	out := make([]complex128, len(x))
+	if len(taps) == 0 {
+		return out
+	}
+	base := math.Inf(1)
+	for _, t := range taps {
+		if t.DelaySamples < base {
+			base = t.DelaySamples
+		}
+	}
+	for _, t := range taps {
+		off := int(math.Round(t.DelaySamples - base))
+		dsp.MixInto(out, x, off, t.Gain)
+	}
+	return out
+}
+
+// Downlink propagates a transmitted envelope to the node. The node faces an
+// enormous near-field signal compared to ambient noise, so no noise is
+// added; multipath and absorption still shape the command waveform.
+func (l *Link) Downlink(tx []complex128) []complex128 {
+	return applyTDL(tx, l.down)
+}
+
+// Uplink propagates the node's scattered envelope back to the reader,
+// applying slow fading, then adds the projector's direct-path leakage
+// (txLeak is the reader's own transmit envelope, nil when the projector is
+// quiet) and ambient noise.
+func (l *Link) Uplink(scattered, txLeak []complex128) []complex128 {
+	y := applyTDL(scattered, l.up)
+	if l.fading != nil {
+		l.fading.Apply(y)
+	}
+	if l.leak != 0 && txLeak != nil {
+		n := len(y)
+		if len(txLeak) < n {
+			n = len(txLeak)
+		}
+		for i := 0; i < n; i++ {
+			y[i] += l.leak * txLeak[i]
+		}
+	}
+	l.addNoise(y)
+	return y
+}
+
+// addNoise injects ambient noise (white, or Wenz-shaped when configured)
+// with total in-band power matching the environment's noise level.
+func (l *Link) addNoise(y []complex128) {
+	if l.noiseAmp <= 0 {
+		return
+	}
+	noise := dsp.GaussianNoise(make([]complex128, len(y)), l.noiseAmp*l.noiseAmp, l.rng)
+	if l.shaper != nil {
+		l.shaper.Reset()
+		l.shaper.ProcessInto(noise, noise)
+	}
+	dsp.AddInto(y, noise)
+}
+
+// wenzShaper builds the PSD-shaping filter: the baseband bin at offset f
+// carries the Wenz density at fc+f, normalized to unit mean so the white
+// noise amplitude calibration is preserved.
+func wenzShaper(env *ocean.Environment, fc, fs float64) (*dsp.CFIR, error) {
+	const bins = 256
+	psd := make([]float64, bins)
+	var mean float64
+	for k := 0; k < bins; k++ {
+		f := float64(k) * fs / bins
+		if k > bins/2 {
+			f -= fs
+		}
+		p := math.Pow(10, env.NoisePSD(fc+f)/10)
+		psd[k] = p
+		mean += p
+	}
+	mean /= bins
+	for k := range psd {
+		psd[k] /= mean
+	}
+	return dsp.NoiseShapingFIR(psd, 65, dsp.Hamming)
+}
+
+// RoundTrip runs the full backscatter path: the reader's transmit envelope
+// travels to the node, is multiplied by the node's time-varying scatter
+// waveform (nodeGain · γ(t), produced by the node model), and returns
+// through the uplink with leakage and noise.
+//
+// gamma must have the same length as tx; nodeGain carries the array's
+// retrodirective conversion gain at the current orientation.
+func (l *Link) RoundTrip(tx, gamma []complex128, nodeGain complex128) ([]complex128, error) {
+	if len(gamma) != len(tx) {
+		return nil, fmt.Errorf("channel: gamma length %d != tx length %d", len(gamma), len(tx))
+	}
+	atNode := l.Downlink(tx)
+	for i := range atNode {
+		atNode[i] *= nodeGain * gamma[i]
+	}
+	return l.Uplink(atNode, tx), nil
+}
+
+// BulkDelaySeconds returns the absolute earliest-arrival round-trip delay
+// (down plus up), the quantity RoundTripAbsolute preserves and ranging
+// measures.
+func (l *Link) BulkDelaySeconds() float64 {
+	min := func(taps []Tap) float64 {
+		m := math.Inf(1)
+		for _, t := range taps {
+			if t.DelaySamples < m {
+				m = t.DelaySamples
+			}
+		}
+		if math.IsInf(m, 1) {
+			return 0
+		}
+		return m / l.cfg.SampleRate
+	}
+	return min(l.down) + min(l.up)
+}
+
+// applyTDLAbs convolves x with the tapped delay line preserving absolute
+// delays, into an output of the given length.
+func applyTDLAbs(x []complex128, taps []Tap, outLen int) []complex128 {
+	out := make([]complex128, outLen)
+	for _, t := range taps {
+		dsp.MixInto(out, x, int(math.Round(t.DelaySamples)), t.Gain)
+	}
+	return out
+}
+
+// RoundTripAbsolute is RoundTrip with propagation delay preserved: the
+// returned capture is long enough to contain the burst after the full
+// round-trip flight time, enabling time-of-flight ranging at the reader.
+// The leakage (which arrives promptly) and noise span the whole capture.
+func (l *Link) RoundTripAbsolute(tx, gamma []complex128, nodeGain complex128) ([]complex128, error) {
+	if len(gamma) != len(tx) {
+		return nil, fmt.Errorf("channel: gamma length %d != tx length %d", len(gamma), len(tx))
+	}
+	maxDelay := func(taps []Tap) int {
+		m := 0.0
+		for _, t := range taps {
+			if t.DelaySamples > m {
+				m = t.DelaySamples
+			}
+		}
+		return int(math.Ceil(m))
+	}
+	if len(l.down) == 0 || len(l.up) == 0 {
+		return nil, fmt.Errorf("channel: no propagation paths")
+	}
+	nDown := len(tx) + maxDelay(l.down) + 1
+	atNode := applyTDLAbs(tx, l.down, nDown)
+	// The node reacts to what it hears: its modulation waveform γ rides at
+	// the downlink bulk delay. Outside γ's support the node sits in its
+	// quiescent state — static clutter the reader's notch removes — so the
+	// scattered field is zero there.
+	dDown := int(math.Round(l.down[0].DelaySamples))
+	for i := range atNode {
+		j := i - dDown
+		if j >= 0 && j < len(gamma) {
+			atNode[i] *= nodeGain * gamma[j]
+		} else {
+			atNode[i] = 0
+		}
+	}
+	nUp := nDown + maxDelay(l.up) + 1
+	y := applyTDLAbs(atNode, l.up, nUp)
+	if l.fading != nil {
+		l.fading.Apply(y)
+	}
+	if l.leak != 0 {
+		n := len(y)
+		if len(tx) < n {
+			n = len(tx)
+		}
+		for i := 0; i < n; i++ {
+			y[i] += l.leak * tx[i]
+		}
+	}
+	l.addNoise(y)
+	return y, nil
+}
+
+// RoundTripGainDB returns the coherent round-trip channel power gain in dB
+// (down-taps phasor sum times up-taps phasor sum), excluding the node's own
+// conversion gain: the waveform-level analogue of 2·TL.
+func (l *Link) RoundTripGainDB() float64 {
+	var d, u complex128
+	for _, t := range l.down {
+		d += t.Gain
+	}
+	for _, t := range l.up {
+		u += t.Gain
+	}
+	m := d * u
+	p := real(m)*real(m) + imag(m)*imag(m)
+	if p == 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(p)
+}
+
+// NoiseAmplitude returns the per-sample RMS ambient noise amplitude in µPa
+// (0 when noise is disabled).
+func (l *Link) NoiseAmplitude() float64 { return l.noiseAmp }
+
+// InjectBurst adds a high-amplitude noise burst to y in place, starting at
+// sample start for length n, at powerDB above the ambient floor: the
+// failure-injection hook used to test link-layer recovery (passing boats,
+// snapping shrimp).
+func (l *Link) InjectBurst(y []complex128, start, n int, powerDB float64) {
+	amp := l.noiseAmp
+	if amp == 0 {
+		amp = 1
+	}
+	amp *= math.Pow(10, powerDB/20)
+	for i := start; i < start+n && i < len(y); i++ {
+		if i < 0 {
+			continue
+		}
+		y[i] += complex(l.rng.NormFloat64()*amp/math.Sqrt2, l.rng.NormFloat64()*amp/math.Sqrt2)
+	}
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vab/internal/baseline"
+	"vab/internal/ocean"
+)
+
+// riverVA returns the headline configuration: 16-element Van Atta node in
+// the river environment.
+func riverVA(t *testing.T) *LinkBudget {
+	t.Helper()
+	env := ocean.CharlesRiver()
+	d, err := NewVanAttaDesign(DefaultNodeElements, env, DefaultCarrierHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewLinkBudget(env, d)
+}
+
+// riverPAB returns the prior-art baseline in the same environment: single
+// element, carrier-band signaling (self-interference penalty applies).
+func riverPAB() *LinkBudget {
+	b := NewLinkBudget(ocean.CharlesRiver(), baseline.New())
+	b.SIPenaltyDB = CarrierBandSIPenaltyDB
+	return b
+}
+
+// TestCalibrationAnchors locks the two quantitative claims from the paper's
+// abstract. These assertions pin the calibration constants: if a model
+// change moves them, the constants in calibration.go must be re-derived.
+func TestCalibrationAnchors(t *testing.T) {
+	va := riverVA(t)
+	vaRange := va.MaxRange(1e-3, 5000)
+	if vaRange < 280 || vaRange > 340 {
+		t.Errorf("VAB river range at BER 1e-3 = %.0f m, want ~300 (abstract: >300 m round trip)", vaRange)
+	}
+	pabRange := riverPAB().MaxRange(1e-3, 5000)
+	if pabRange < 14 || pabRange > 28 {
+		t.Errorf("baseline range = %.0f m, want ~20", pabRange)
+	}
+	ratio := vaRange / pabRange
+	if ratio < 11 || ratio > 19 {
+		t.Errorf("range ratio %.1f×, abstract claims 15×", ratio)
+	}
+}
+
+func TestBudgetValidate(t *testing.T) {
+	b := riverVA(t)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b.ChipRate = 0
+	if b.Validate() == nil {
+		t.Error("zero chip rate accepted")
+	}
+	b = riverVA(t)
+	b.ReaderDepth = 99
+	if b.Validate() == nil {
+		t.Error("depth below bottom accepted")
+	}
+	var empty LinkBudget
+	if empty.Validate() == nil {
+		t.Error("empty budget accepted")
+	}
+}
+
+func TestSNRMonotoneDecreasingInRange(t *testing.T) {
+	b := riverVA(t)
+	prev := math.Inf(1)
+	for r := 10.0; r <= 2000; r *= 1.4 {
+		snr := b.ToneSNRdB(r)
+		if snr >= prev {
+			t.Fatalf("SNR not decreasing at r=%v", r)
+		}
+		prev = snr
+	}
+}
+
+func TestBERMonotoneIncreasingInRange(t *testing.T) {
+	b := riverVA(t)
+	prev := 0.0
+	for r := 10.0; r <= 2000; r *= 1.3 {
+		ber := b.BER(r)
+		if ber < prev-1e-12 {
+			t.Fatalf("BER decreased at r=%v", r)
+		}
+		prev = ber
+	}
+}
+
+func TestMaxRangeConsistent(t *testing.T) {
+	b := riverVA(t)
+	r := b.MaxRange(1e-3, 5000)
+	if b.BER(r*0.98) > 1e-3 {
+		t.Errorf("BER just inside max range exceeds target")
+	}
+	if b.BER(r*1.05) < 1e-3 {
+		t.Errorf("BER just outside max range meets target")
+	}
+	// Impossible target → 0.
+	b.SourceLevelDB = 100
+	if got := b.MaxRange(1e-12, 5000); got != 0 {
+		t.Errorf("impossible target returned %v", got)
+	}
+}
+
+func TestMaxRangeLimitClamp(t *testing.T) {
+	b := riverVA(t)
+	b.SourceLevelDB = 230 // absurdly loud
+	if got := b.MaxRange(0.4, 100); got != 100 {
+		t.Errorf("limit clamp returned %v", got)
+	}
+}
+
+func TestOceanHarderThanRiver(t *testing.T) {
+	env := ocean.AtlanticCoastal()
+	d, err := NewVanAttaDesign(DefaultNodeElements, env, DefaultCarrierHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sea := NewLinkBudget(env, d)
+	river := riverVA(t)
+	rSea := sea.MaxRange(1e-3, 5000)
+	rRiver := river.MaxRange(1e-3, 5000)
+	if rSea >= rRiver {
+		t.Errorf("ocean range %.0f m should trail river %.0f m (noise + absorption)", rSea, rRiver)
+	}
+	// But the system still works at useful coastal ranges.
+	if rSea < 60 {
+		t.Errorf("ocean range %.0f m too short; the paper validated ocean operation", rSea)
+	}
+}
+
+func TestGainScalesWithElements(t *testing.T) {
+	env := ocean.CharlesRiver()
+	prev := math.Inf(-1)
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		d, err := NewVanAttaDesign(n, env, DefaultCarrierHz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := EffectiveGainDB(d, DefaultCarrierHz, 0.4)
+		if g <= prev {
+			t.Fatalf("gain not increasing at n=%d", n)
+		}
+		// Doubling elements adds ~6 dB (N² power scaling), minus nothing
+		// else at fixed orientation.
+		if prev != math.Inf(-1) && math.Abs((g-prev)-6.02) > 0.3 {
+			t.Errorf("n=%d: gain step %.2f dB, want ~6", n, g-prev)
+		}
+		prev = g
+	}
+}
+
+func TestOrientationInsensitivityVanAtta(t *testing.T) {
+	b := riverVA(t)
+	r0 := b.MaxRange(1e-3, 5000)
+	for _, deg := range []float64{15, 30, 45, 60} {
+		b.Orientation = deg * math.Pi / 180
+		r := b.MaxRange(1e-3, 5000)
+		if math.Abs(r-r0)/r0 > 0.05 {
+			t.Errorf("van atta range at %v° = %.0f m, drifted from %.0f m", deg, r, r0)
+		}
+	}
+}
+
+func TestOrientationCollapseSpecular(t *testing.T) {
+	env := ocean.CharlesRiver()
+	d, err := NewSpecularDesign(DefaultNodeElements, env, DefaultCarrierHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewLinkBudget(env, d)
+	r0 := b.MaxRange(1e-3, 5000)
+	b.Orientation = 30 * math.Pi / 180
+	r30 := b.MaxRange(1e-3, 5000)
+	if r30 > r0/2 {
+		t.Errorf("specular array range should collapse off broadside: %.0f → %.0f m", r0, r30)
+	}
+}
+
+func TestDiversityExtendsRange(t *testing.T) {
+	with := riverVA(t)
+	without := riverVA(t)
+	without.DiversityBranches = 1
+	without.DiversityGainDB = 0
+	rw := with.MaxRange(1e-3, 5000)
+	ro := without.MaxRange(1e-3, 5000)
+	if rw <= ro {
+		t.Errorf("diversity should extend range: %.0f vs %.0f m", rw, ro)
+	}
+}
+
+func TestEffectiveRicianK(t *testing.T) {
+	b := riverVA(t)
+	b.RicianOverride = 1.0
+	b.DiversityBranches = 4
+	if got := b.EffectiveRicianK(100); math.Abs(got-7) > 1e-12 {
+		t.Errorf("K_eff = %v, want 7 (L-1+L·K)", got)
+	}
+	b.DiversityBranches = 0 // treated as 1
+	if got := b.EffectiveRicianK(100); math.Abs(got-1) > 1e-12 {
+		t.Errorf("K_eff = %v, want 1", got)
+	}
+	b.RicianOverride = math.Inf(1)
+	if !math.IsInf(b.EffectiveRicianK(100), 1) {
+		t.Error("infinite K should stay infinite")
+	}
+}
+
+func TestTermsAtConsistency(t *testing.T) {
+	b := riverVA(t)
+	terms := b.TermsAt(150)
+	recomputed := terms.SourceLevelDB - 2*terms.OneWayTLDB + terms.NodeGainDB -
+		terms.NoiseLevelDB + terms.DiversityDB - terms.SIPenaltyDB
+	if math.Abs(recomputed-terms.ToneSNRdB) > 1e-9 {
+		t.Errorf("terms don't add up: %v vs %v", recomputed, terms.ToneSNRdB)
+	}
+	if terms.DelaySpreadSec <= 0 {
+		t.Error("river multipath should have positive delay spread")
+	}
+	if terms.PredictedBER != b.BER(150) {
+		t.Error("terms BER inconsistent")
+	}
+}
+
+func TestBaselineDepthPenalty(t *testing.T) {
+	pab := baseline.New()
+	pen := pab.DepthPenaltyDB(DefaultCarrierHz)
+	if pen < 2 || pen > 12 {
+		t.Errorf("unmatched depth penalty %.1f dB implausible", pen)
+	}
+	if pab.Elements() != 1 || pab.Name() == "" {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestDesignMetadata(t *testing.T) {
+	env := ocean.CharlesRiver()
+	va, _ := NewVanAttaDesign(16, env, DefaultCarrierHz)
+	if va.Name() != "van-atta-16" || va.Elements() != 16 {
+		t.Errorf("metadata: %s/%d", va.Name(), va.Elements())
+	}
+	sp, _ := NewSpecularDesign(8, env, DefaultCarrierHz)
+	if sp.Name() != "specular-8" || sp.Elements() != 8 {
+		t.Errorf("metadata: %s/%d", sp.Name(), sp.Elements())
+	}
+	if _, err := NewVanAttaDesign(0, env, DefaultCarrierHz); err == nil {
+		t.Error("zero elements accepted")
+	}
+}
+
+func TestBERBoundsProperty(t *testing.T) {
+	// BER must live in [0, 0.5] at every range, orientation and rate.
+	b := riverVA(t)
+	f := func(rRaw, thRaw, rateRaw float64) bool {
+		r := 1 + math.Mod(math.Abs(rRaw), 5000)
+		bb := *b
+		bb.Orientation = math.Mod(thRaw, math.Pi)
+		bb.ChipRate = 125 * math.Pow(2, math.Mod(math.Abs(rateRaw), 5))
+		v := bb.BER(r)
+		return v >= 0 && v <= 0.5+1e-12 && !math.IsNaN(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

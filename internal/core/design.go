@@ -1,0 +1,130 @@
+// Package core assembles the VAB system out of its substrates: node designs
+// (Van Atta arrays with matched switching networks, and the single-element
+// prior art they are compared against), calibrated link budgets that predict
+// SNR and BER versus range, and a waveform-level System that runs full
+// query-response rounds between a reader and battery-free nodes over the
+// simulated acoustic channel.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"vab/internal/ocean"
+	"vab/internal/piezo"
+	"vab/internal/vanatta"
+)
+
+// Design abstracts how a backscatter node converts incident acoustic energy
+// into a modulated reflection: the quantity that differentiates VAB from
+// prior single-element backscatter.
+type Design interface {
+	// Name identifies the design in tables and reports.
+	Name() string
+	// ScatterField returns the complex monostatic field conversion gain at
+	// carrier frequency fHz for a reader at angle theta (radians from the
+	// array normal), normalized to a single ideal element. It includes the
+	// element transduction roll-off and array/interconnect effects, but not
+	// the modulation depth or structural scattering loss.
+	ScatterField(fHz, theta float64) complex128
+	// ModulationDepth returns |Γ_on − Γ_off|/2 at fHz for the design's two
+	// switch states, including any matching network.
+	ModulationDepth(fHz float64) float64
+	// Elements returns the transducer count (power scaling context).
+	Elements() int
+}
+
+// VanAttaDesign is the paper's node: an N-element Van Atta array of
+// piezoelectric transducers whose pair interconnects are toggled between a
+// through state (retrodirective reflection) and a matched termination
+// (absorption), with L-section matching networks keeping the pairs tuned.
+type VanAttaDesign struct {
+	Array *vanatta.Array
+	Trans *piezo.Transducer
+
+	// OnLoad/OffLoad are the electrical termination states the modulation
+	// switch selects between.
+	OnLoad, OffLoad complex128
+}
+
+// NewVanAttaDesign builds the standard VAB node: n elements (even counts
+// pair fully) at half-wavelength spacing for the given environment, matched
+// switching between a short (reflective) and the conjugate load
+// (absorptive).
+func NewVanAttaDesign(n int, env *ocean.Environment, fcHz float64) (*VanAttaDesign, error) {
+	tr := piezo.MustDefault()
+	c := env.MeanSoundSpeed()
+	arr, err := vanatta.NewUniformLinear(n, c/fcHz/2, tr, c)
+	if err != nil {
+		return nil, fmt.Errorf("core: van atta design: %w", err)
+	}
+	return &VanAttaDesign{
+		Array:   arr,
+		Trans:   tr,
+		OnLoad:  piezo.ShortLoad,
+		OffLoad: tr.MatchedLoad(fcHz),
+	}, nil
+}
+
+// Name implements Design.
+func (d *VanAttaDesign) Name() string {
+	return fmt.Sprintf("van-atta-%d", d.Array.N())
+}
+
+// Elements implements Design.
+func (d *VanAttaDesign) Elements() int { return d.Array.N() }
+
+// ScatterField implements Design using the retrodirective array response.
+func (d *VanAttaDesign) ScatterField(fHz, theta float64) complex128 {
+	dir := vanatta.DirectionXZ(theta)
+	return d.Array.Scatter(fHz, dir, dir)
+}
+
+// ModulationDepth implements Design.
+func (d *VanAttaDesign) ModulationDepth(fHz float64) float64 {
+	return d.Trans.ModulationDepth(fHz, d.OnLoad, d.OffLoad)
+}
+
+// SpecularDesign is the ablation baseline with the same aperture as a Van
+// Atta array but elements terminated individually: it shows that the gain
+// of VAB comes from retrodirectivity, not merely from having N elements.
+type SpecularDesign struct {
+	VanAttaDesign
+}
+
+// NewSpecularDesign builds an n-element specular (non-retrodirective)
+// array node.
+func NewSpecularDesign(n int, env *ocean.Environment, fcHz float64) (*SpecularDesign, error) {
+	va, err := NewVanAttaDesign(n, env, fcHz)
+	if err != nil {
+		return nil, err
+	}
+	return &SpecularDesign{VanAttaDesign: *va}, nil
+}
+
+// Name implements Design.
+func (d *SpecularDesign) Name() string {
+	return fmt.Sprintf("specular-%d", d.Array.N())
+}
+
+// ScatterField implements Design using the individually terminated
+// response.
+func (d *SpecularDesign) ScatterField(fHz, theta float64) complex128 {
+	dir := vanatta.DirectionXZ(theta)
+	return d.Array.ScatterSpecular(fHz, dir, dir)
+}
+
+// EffectiveGainDB returns the design's full conversion gain in dB at fHz
+// and orientation theta: field gain, modulation depth, the square-wave
+// fundamental factor 2/π, and the structural scattering loss shared by all
+// small piezo scatterers (see calibration.go).
+func EffectiveGainDB(d Design, fHz, theta float64) float64 {
+	field := d.ScatterField(fHz, theta)
+	m := real(field)*real(field) + imag(field)*imag(field)
+	if m == 0 {
+		return math.Inf(-1)
+	}
+	return 10*math.Log10(m) +
+		20*math.Log10(d.ModulationDepth(fHz)*2/math.Pi) -
+		StructuralLossDB
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"vab/internal/ocean"
+	"vab/internal/reader"
+)
+
+// TestEqualizerImprovesCoastalDecodeRate is the system-level regression
+// for the decision-feedback equalizer: across coastal channel realizations
+// it must decode at least as many single-shot rounds as the plain receiver,
+// and strictly more over the full seed set.
+func TestEqualizerImprovesCoastalDecodeRate(t *testing.T) {
+	run := func(eq bool, rd, nd float64) int {
+		env := ocean.AtlanticCoastal()
+		d, _ := NewVanAttaDesign(16, env, DefaultCarrierHz)
+		ok := 0
+		for seed := int64(0); seed < 30; seed++ {
+			rcfg := reader.DefaultConfig()
+			rcfg.UseEqualizer = eq
+			s, err := NewSystem(SystemConfig{
+				Env: env, Design: d, Range: 40,
+				ReaderDepth: rd, NodeDepth: nd, NodeAddr: 7, Seed: seed,
+				Reader: rcfg,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.WakeNode(3600)
+			rep, _ := s.RunRound()
+			if rep.Rx.OK() {
+				ok++
+			}
+		}
+		return ok
+	}
+	plain := run(false, 3, 4)
+	equalized := run(true, 3, 4)
+	if equalized <= plain {
+		t.Errorf("equalizer did not improve the coastal decode rate: %d vs %d of 30", equalized, plain)
+	}
+	if plain < 8 {
+		t.Errorf("plain decode rate %d/30 collapsed; channel regression?", plain)
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"vab/internal/link"
+	"vab/internal/node"
+	"vab/internal/ocean"
+)
+
+// buildCapture runs the downlink+node+round-trip portion of a round
+// manually so the test can tamper with the capture before decoding.
+func buildCapture(t *testing.T, s *System) (capture, tx []complex128, padChips int) {
+	t.Helper()
+	gammaBits, err := s.Node.HandleQuery(&link.Frame{Type: link.FrameQuery, Addr: s.cfg.NodeAddr})
+	if err != nil || gammaBits == nil {
+		t.Fatalf("node did not respond: %v", err)
+	}
+	spc := s.cfg.Reader.PHY.SamplesPerChip()
+	pad := 4 * spc
+	total := pad + len(gammaBits) + 4*spc
+	tx = s.Reader.CarrierEnvelope(total)
+	gamma := make([]complex128, total)
+	for i, g := range gammaBits {
+		gamma[pad+i] = complex(s.deltaG*g, 0)
+	}
+	capture, err = s.Link.RoundTrip(tx, gamma, s.nodeGain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return capture, tx, pad / spc
+}
+
+// TestBurstNoiseRecoveredByFEC injects a snapping-shrimp-style noise burst
+// spanning six data bits into an otherwise healthy capture: the interleaver
+// must spread it across codewords and the Hamming decoder must repair it.
+func TestBurstNoiseRecoveredByFEC(t *testing.T) {
+	env := ocean.CharlesRiver()
+	d, err := NewVanAttaDesign(DefaultNodeElements, env, DefaultCarrierHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSystem(SystemConfig{Env: env, Design: d, Range: 40, NodeAddr: 5, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.WakeNode(3600)
+	capture, tx, _ := buildCapture(t, s)
+	// Clean reference decode first.
+	clean := append([]complex128(nil), capture...)
+	rep := s.Reader.Decode(clean, tx, node.PayloadSize)
+	if !rep.OK() {
+		t.Fatalf("clean capture failed: %v", rep.Err)
+	}
+
+	// Burst over ~6 bits (12 chips) in the middle of the payload, 25 dB
+	// above ambient. The burst is shorter than the interleave depth in
+	// bits, so every corrupted bit lands in a distinct codeword.
+	spc := s.cfg.Reader.PHY.SamplesPerChip()
+	mid := len(capture) / 2
+	s.Link.InjectBurst(capture, mid, 12*spc, 25)
+	rep2 := s.Reader.Decode(capture, tx, node.PayloadSize)
+	if !rep2.OK() {
+		t.Fatalf("burst not recovered: %v (corrected %d)", rep2.Err, rep2.Corrected)
+	}
+	if rep2.Frame.Addr != 5 {
+		t.Error("frame corrupted despite recovery")
+	}
+}
+
+// TestSustainedJammingFailsCleanly floods most of the capture with strong
+// noise: decoding must fail with an error, never return a bogus frame.
+func TestSustainedJammingFailsCleanly(t *testing.T) {
+	env := ocean.CharlesRiver()
+	d, _ := NewVanAttaDesign(DefaultNodeElements, env, DefaultCarrierHz)
+	s, err := NewSystem(SystemConfig{Env: env, Design: d, Range: 40, NodeAddr: 5, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.WakeNode(3600)
+	capture, tx, _ := buildCapture(t, s)
+	s.Link.InjectBurst(capture, 0, len(capture), 60)
+	rep := s.Reader.Decode(capture, tx, node.PayloadSize)
+	if rep.OK() {
+		t.Fatal("decoded a frame through 60 dB of jamming")
+	}
+	if rep.Err == nil {
+		t.Error("failure must carry an error")
+	}
+}
+
+// TestTwoNodeCollisionCapture superimposes two simultaneous node responses:
+// at equal power the collision destroys both; with a strong power imbalance
+// the reader captures the stronger node (the capture effect the discovery
+// MAC's model assumes).
+func TestTwoNodeCollisionCapture(t *testing.T) {
+	env := ocean.CharlesRiver()
+	d, _ := NewVanAttaDesign(DefaultNodeElements, env, DefaultCarrierHz)
+	mk := func(addr byte, rng float64, seed int64) (*System, []complex128, []complex128) {
+		s, err := NewSystem(SystemConfig{Env: env, Design: d, Range: rng, NodeAddr: addr, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.WakeNode(3600)
+		cap1, tx, _ := buildCapture(t, s)
+		return s, cap1, tx
+	}
+
+	// Near-equal power: 40 m vs 44 m.
+	s1, c1, tx := mk(1, 40, 31)
+	_, c2, _ := mk(2, 44, 37)
+	n := len(c1)
+	if len(c2) < n {
+		n = len(c2)
+	}
+	sum := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		sum[i] = c1[i] + c2[i]
+	}
+	rep := s1.Reader.Decode(sum, tx[:n], node.PayloadSize)
+	if rep.OK() {
+		t.Log("equal-power collision unexpectedly captured a frame (possible but rare); continuing")
+	}
+
+	// Strong imbalance: 30 m vs 120 m — node 1 should capture.
+	s1, c1, tx = mk(1, 30, 41)
+	_, c2, _ = mk(2, 120, 43)
+	n = len(c1)
+	if len(c2) < n {
+		n = len(c2)
+	}
+	sum = make([]complex128, n)
+	for i := 0; i < n; i++ {
+		sum[i] = c1[i] + c2[i]
+	}
+	rep = s1.Reader.Decode(sum, tx[:n], node.PayloadSize)
+	if !rep.OK() {
+		t.Fatalf("capture effect failed under 4× range imbalance: %v", rep.Err)
+	}
+	if rep.Frame.Addr != 1 {
+		t.Errorf("captured node %d, want the stronger node 1", rep.Frame.Addr)
+	}
+}

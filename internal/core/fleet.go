@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"vab/internal/mac"
+	"vab/internal/node"
+)
+
+// Fleet is a multi-node deployment: one reader polling several battery-free
+// nodes through their individual channel geometries, under the MAC layer's
+// retry/liveness policy. It is the object a monitoring application holds —
+// cmd/vabgw and examples/coastal are thin wrappers around it.
+type Fleet struct {
+	sched   *mac.Scheduler
+	systems map[byte]*System
+	order   []byte
+}
+
+// NodePlacement positions one node of a fleet.
+type NodePlacement struct {
+	Addr        byte
+	Range       float64 // m from the reader
+	Orientation float64 // rad
+	Depth       float64 // m; 0 → the system default
+}
+
+// NewFleet builds a fleet: one waveform-level System per placement, all
+// sharing the environment and design from the base config (whose Range,
+// Orientation, NodeAddr and NodeDepth fields are overridden per node).
+func NewFleet(base SystemConfig, placements []NodePlacement, policy mac.PollPolicy) (*Fleet, error) {
+	if len(placements) == 0 {
+		return nil, fmt.Errorf("core: fleet needs at least one node")
+	}
+	f := &Fleet{systems: make(map[byte]*System)}
+	var err error
+	f.sched, err = mac.NewScheduler(fleetTrx{f}, policy)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range placements {
+		if _, dup := f.systems[p.Addr]; dup {
+			return nil, fmt.Errorf("core: duplicate node address %d", p.Addr)
+		}
+		cfg := base
+		cfg.NodeAddr = p.Addr
+		cfg.Range = p.Range
+		cfg.Orientation = p.Orientation
+		cfg.NodeDepth = p.Depth
+		cfg.Seed = base.Seed + int64(i+1)*1009
+		s, err := NewSystem(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: node %d: %w", p.Addr, err)
+		}
+		f.systems[p.Addr] = s
+		f.order = append(f.order, p.Addr)
+		f.sched.AddNode(p.Addr)
+	}
+	return f, nil
+}
+
+// fleetTrx adapts the per-node systems to the MAC scheduler.
+type fleetTrx struct{ f *Fleet }
+
+// Poll implements mac.Transceiver.
+func (t fleetTrx) Poll(addr byte) (mac.RoundResult, error) {
+	s, ok := t.f.systems[addr]
+	if !ok {
+		return mac.RoundResult{}, fmt.Errorf("core: unknown node %d", addr)
+	}
+	s.WakeNode(30)
+	rep, err := s.RunRound()
+	if err != nil {
+		return mac.RoundResult{}, err
+	}
+	if !rep.Rx.OK() {
+		return mac.RoundResult{}, nil
+	}
+	snr := 0.0
+	if rep.ToneSNREst > 0 {
+		snr = 10 * math.Log10(rep.ToneSNREst)
+	}
+	return mac.RoundResult{OK: true, Payload: rep.Rx.Frame.Payload, SNRdB: snr}, nil
+}
+
+// Deploy charges every node for the given duration (the pre-campaign
+// soak).
+func (f *Fleet) Deploy(seconds float64) {
+	for _, addr := range f.order {
+		f.systems[addr].WakeNode(seconds)
+	}
+}
+
+// FleetReading is one delivered sensor reading with link metadata.
+type FleetReading struct {
+	Addr    byte
+	Reading node.Reading
+	SNRdB   float64
+}
+
+// RunCycle polls every live node once (with the policy's retries) and
+// returns the decoded readings.
+func (f *Fleet) RunCycle() ([]FleetReading, mac.CycleReport, error) {
+	rep, err := f.sched.RunCycle()
+	if err != nil {
+		return nil, rep, err
+	}
+	var out []FleetReading
+	for _, addr := range f.order {
+		payload, ok := rep.Payloads[addr]
+		if !ok {
+			continue
+		}
+		rd, ok := node.DecodeReading(payload)
+		if !ok {
+			continue
+		}
+		var snr float64
+		for _, st := range f.sched.Nodes() {
+			if st.Addr == addr {
+				snr = st.LastSNRdB
+			}
+		}
+		out = append(out, FleetReading{Addr: addr, Reading: rd, SNRdB: snr})
+	}
+	return out, rep, nil
+}
+
+// Nodes returns the MAC-layer bookkeeping per node.
+func (f *Fleet) Nodes() []mac.NodeState { return f.sched.Nodes() }
+
+// System returns the per-node system (nil for unknown addresses), for
+// advanced access such as ranging rounds or commands.
+func (f *Fleet) System(addr byte) *System { return f.systems[addr] }

@@ -1,0 +1,420 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vab/internal/channel"
+	"vab/internal/link"
+	"vab/internal/node"
+	"vab/internal/ocean"
+	"vab/internal/phy"
+	"vab/internal/reader"
+)
+
+// SystemConfig describes one reader↔node deployment for waveform-level
+// simulation.
+type SystemConfig struct {
+	Env    *ocean.Environment
+	Design Design
+
+	Range       float64 // horizontal reader↔node range, m
+	Orientation float64 // node rotation, radians (0 = facing the reader)
+	ReaderDepth float64 // 0 → mid-column
+	NodeDepth   float64 // 0 → mid-column
+
+	Reader   reader.Config // zero value → reader.DefaultConfig()
+	NodeAddr byte
+
+	// SelfInterferenceDB overrides the default −30 dB projector→hydrophone
+	// coupling when nonzero.
+	SelfInterferenceDB float64
+
+	DisableNoise  bool
+	DisableFading bool
+
+	// NodeClockPPM sets the node oscillator's frequency error in parts per
+	// million (see phy.Params.ClockPPM): the node's chip clock and
+	// subcarrier tones drift while the reader demodulates at nominal
+	// rates. Crystal-class errors (±100 ppm) decode cleanly; RC-oscillator
+	// errors (thousands of ppm) degrade — the phy package quantifies the
+	// budget.
+	NodeClockPPM float64
+
+	// SwayRMS is the RMS mooring sway in meters applied independently to
+	// the geometry before every round (0.05 m default; negative disables).
+	// At an 8 cm wavelength, centimeter-scale platform motion decorrelates
+	// multipath interference nulls between polls — a static geometry would
+	// freeze a deployment in whatever null it happened to land in, which
+	// no real float experiences.
+	SwayRMS float64
+
+	Seed int64
+}
+
+// System is a fully assembled waveform-level deployment: reader, channel
+// and a battery-free node. It exercises every block the paper's prototype
+// contains — downlink OOK decoding at the node, reflection modulation,
+// round-trip propagation, self-interference cancellation and uplink
+// demodulation at the reader.
+type System struct {
+	Reader *reader.Reader
+	Node   *node.Node
+	Link   *channel.Link
+
+	cfg      SystemConfig
+	nodeGain complex128 // scatter field × structural loss at this orientation
+	deltaG   float64    // reflection contrast 2·ModulationDepth
+	querySeq byte
+	sway     *rand.Rand
+	linkSeed int64
+}
+
+// rebuildLink recreates the channel with mooring sway applied to the
+// nominal geometry, so consecutive rounds see decorrelated multipath
+// phases just as a real float does.
+func (s *System) rebuildLink() error {
+	cfg := s.cfg
+	jitter := func(v, min, max float64) float64 {
+		j := v + s.sway.NormFloat64()*cfg.SwayRMS
+		if j < min {
+			j = min
+		}
+		if j > max {
+			j = max
+		}
+		return j
+	}
+	s.linkSeed++
+	l, err := channel.New(channel.Config{
+		Env:                cfg.Env,
+		CarrierHz:          DefaultCarrierHz,
+		SampleRate:         cfg.Reader.PHY.SampleRate,
+		ReaderDepth:        jitter(cfg.ReaderDepth, 0.3, cfg.Env.Depth-0.1),
+		NodeDepth:          jitter(cfg.NodeDepth, 0.3, cfg.Env.Depth-0.1),
+		Range:              jitter(cfg.Range, 1, math.Inf(1)),
+		SelfInterferenceDB: cfg.SelfInterferenceDB,
+		DisableNoise:       cfg.DisableNoise,
+		DisableFading:      cfg.DisableFading,
+		Seed:               cfg.Seed + s.linkSeed,
+	})
+	if err != nil {
+		return err
+	}
+	s.Link = l
+	return nil
+}
+
+// NewSystem validates and assembles a deployment.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if cfg.Env == nil || cfg.Design == nil {
+		return nil, fmt.Errorf("core: system needs environment and design")
+	}
+	if cfg.Range <= 0 {
+		return nil, fmt.Errorf("core: range %.3g m must be positive", cfg.Range)
+	}
+	if cfg.Reader.PHY.SampleRate == 0 {
+		cfg.Reader = reader.DefaultConfig()
+	}
+	// Default to staggered depths: placing both ends at exactly the same
+	// depth in a symmetric waveguide pairs the surface and bottom images
+	// at identical delays and systematically cancels the link (a real
+	// deployment hazard worth avoiding by default).
+	if cfg.ReaderDepth == 0 {
+		cfg.ReaderDepth = 0.4 * cfg.Env.Depth
+	}
+	if cfg.NodeDepth == 0 {
+		cfg.NodeDepth = 0.6 * cfg.Env.Depth
+	}
+	if cfg.SelfInterferenceDB == 0 {
+		cfg.SelfInterferenceDB = -30
+	}
+	switch {
+	case cfg.SwayRMS == 0:
+		cfg.SwayRMS = 0.05
+	case cfg.SwayRMS < 0:
+		cfg.SwayRMS = 0
+	}
+	r, err := reader.New(cfg.Reader)
+	if err != nil {
+		return nil, err
+	}
+	// Deployed nodes float the reservoir from a small primary cell: beyond
+	// ~100 m the harvested carrier covers only a fraction of even the
+	// sleep current (the node package quantifies the crossover).
+	harv := node.DefaultHarvester()
+	harv.BatteryBacked = true
+	nodePHY := cfg.Reader.PHY
+	nodePHY.ClockPPM = cfg.NodeClockPPM
+	n, err := node.New(node.Config{
+		Addr:    cfg.NodeAddr,
+		Codec:   cfg.Reader.UplinkCodec,
+		PHY:     nodePHY,
+		Budget:  node.DefaultPowerBudget(),
+		Harvest: harv,
+		Sensor:  node.NewEnvSensor(cfg.Env.Temperature, cfg.NodeDepth, cfg.Seed+1),
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &System{Reader: r, Node: n, cfg: cfg, sway: rand.New(rand.NewSource(cfg.Seed ^ 0x5f3759df))}
+	if err := s.rebuildLink(); err != nil {
+		return nil, err
+	}
+	field := cfg.Design.ScatterField(DefaultCarrierHz, cfg.Orientation)
+	s.nodeGain = field * complex(math.Pow(10, -StructuralLossDB/20), 0)
+	s.deltaG = 2 * cfg.Design.ModulationDepth(DefaultCarrierHz)
+	return s, nil
+}
+
+// WakeNode charges the node from the carrier for the given duration: the
+// deployment phase before the first poll.
+func (s *System) WakeNode(seconds float64) {
+	tl := s.cfg.Env.TransmissionLoss(DefaultCarrierHz, s.cfg.Range)
+	pPa := math.Pow(10, (s.cfg.Reader.SourceLevelDB-tl)/20) * 1e-6
+	rhoC := ocean.WaterDensity * s.cfg.Env.MeanSoundSpeed()
+	s.Node.Harvest(pPa, rhoC, seconds)
+}
+
+// RoundReport describes one query-response round.
+type RoundReport struct {
+	Rx         reader.RxReport
+	QueryOK    bool // node decoded the downlink query
+	NodeSilent bool // node declined to answer (energy, address)
+	PayloadOK  bool // payload parses as a sensor reading
+	ToneSNREst float64
+}
+
+// RunRound executes a full query-response exchange at waveform level and
+// returns what happened at each stage.
+func (s *System) RunRound() (RoundReport, error) {
+	var rep RoundReport
+	cfg := s.cfg.Reader
+
+	// Mooring sway between rounds: refresh the multipath geometry.
+	if s.cfg.SwayRMS > 0 {
+		if err := s.rebuildLink(); err != nil {
+			return rep, err
+		}
+	}
+
+	// Downlink: query through the channel, node-side OOK decode.
+	qw, _, err := s.Reader.QueryWaveform(s.cfg.NodeAddr, s.querySeq)
+	if err != nil {
+		return rep, err
+	}
+	s.querySeq++
+	atNode := s.Link.Downlink(qw)
+	ook, err := phy.NewOOKDemodulator(cfg.PHY)
+	if err != nil {
+		return rep, err
+	}
+	nChips := cfg.DownlinkCodec.ChipLength(0)
+	chips, err := ook.DemodChips(atNode, 0, nChips)
+	if err != nil {
+		return rep, fmt.Errorf("core: node downlink demod: %w", err)
+	}
+	qf, _, err := cfg.DownlinkCodec.DecodeFrame(chips)
+	if err != nil {
+		// Query corrupted in flight: the node never hears it.
+		return rep, nil
+	}
+	rep.QueryOK = true
+
+	// Node responds with its reflection waveform.
+	gammaBits, err := s.Node.HandleQuery(qf)
+	if err != nil {
+		return rep, err
+	}
+	if gammaBits == nil {
+		rep.NodeSilent = true
+		return rep, nil
+	}
+
+	// Round trip. The transmitted chip sequence is reconstructed for raw
+	// chip-error accounting.
+	spc := cfg.PHY.SamplesPerChip()
+	pad := 4 * spc
+	total := pad + len(gammaBits) + 4*spc
+	tx := s.Reader.CarrierEnvelope(total)
+	gamma := make([]complex128, total)
+	for i, g := range gammaBits {
+		gamma[pad+i] = complex(s.deltaG*g, 0)
+	}
+	capture, err := s.Link.RoundTrip(tx, gamma, s.nodeGain)
+	if err != nil {
+		return rep, err
+	}
+	rep.Rx = s.Reader.Decode(capture, tx, node.PayloadSize)
+	rep.ToneSNREst = rep.Rx.SNREstimate
+	if rep.Rx.OK() {
+		_, rep.PayloadOK = node.DecodeReading(rep.Rx.Frame.Payload)
+	}
+	return rep, nil
+}
+
+// RecordRound runs one query-response exchange and returns the reader's
+// raw hydrophone capture — the export hook for external waveform analysis
+// (see dsp.WriteCapture and cmd/vabscan -capture).
+func (s *System) RecordRound() ([]complex128, error) {
+	cfg := s.cfg.Reader
+	if s.cfg.SwayRMS > 0 {
+		if err := s.rebuildLink(); err != nil {
+			return nil, err
+		}
+	}
+	gammaBits, err := s.Node.HandleQuery(&link.Frame{Type: link.FrameQuery, Addr: s.cfg.NodeAddr})
+	if err != nil {
+		return nil, err
+	}
+	if gammaBits == nil {
+		return nil, fmt.Errorf("core: node silent; WakeNode first")
+	}
+	spc := cfg.PHY.SamplesPerChip()
+	pad := 4 * spc
+	total := pad + len(gammaBits) + 4*spc
+	tx := s.Reader.CarrierEnvelope(total)
+	gamma := make([]complex128, total)
+	for i, g := range gammaBits {
+		gamma[pad+i] = complex(s.deltaG*g, 0)
+	}
+	return s.Link.RoundTrip(tx, gamma, s.nodeGain)
+}
+
+// RunCommandRound sends a downlink command frame through the channel and,
+// when the command elicits an acknowledgement, runs the backscatter uplink
+// and decodes it. It returns the reader's view: acked (frame recovered),
+// silent (node ignored or was muted — the expected outcome for CmdMute),
+// or an error for transport problems.
+func (s *System) RunCommandRound(payload []byte) (acked bool, rep reader.RxReport, err error) {
+	cfg := s.cfg.Reader
+	if s.cfg.SwayRMS > 0 {
+		if err := s.rebuildLink(); err != nil {
+			return false, rep, err
+		}
+	}
+	// Downlink command frame as OOK.
+	f := &link.Frame{Type: link.FrameCmd, Addr: s.cfg.NodeAddr, Seq: s.querySeq, Payload: payload}
+	s.querySeq++
+	chips, err := cfg.DownlinkCodec.EncodeFrame(f)
+	if err != nil {
+		return false, rep, err
+	}
+	mod, err := phy.NewModulator(cfg.PHY)
+	if err != nil {
+		return false, rep, err
+	}
+	w, err := mod.OOKModulate(chips, 1.0)
+	if err != nil {
+		return false, rep, err
+	}
+	amp := s.Reader.SourceAmplitude()
+	for i := range w {
+		w[i] *= complex(amp, 0)
+	}
+	atNode := s.Link.Downlink(w)
+	ook, err := phy.NewOOKDemodulator(cfg.PHY)
+	if err != nil {
+		return false, rep, err
+	}
+	gotChips, err := ook.DemodChips(atNode, 0, len(chips))
+	if err != nil {
+		return false, rep, err
+	}
+	qf, _, err := cfg.DownlinkCodec.DecodeFrame(gotChips)
+	if err != nil {
+		return false, rep, nil // command lost in flight
+	}
+	gammaBits, err := s.Node.HandleCommand(qf)
+	if err != nil {
+		return false, rep, fmt.Errorf("core: node command: %w", err)
+	}
+	if gammaBits == nil {
+		return false, rep, nil
+	}
+	// Uplink ack.
+	spc := cfg.PHY.SamplesPerChip()
+	pad := 4 * spc
+	total := pad + len(gammaBits) + 4*spc
+	tx := s.Reader.CarrierEnvelope(total)
+	gamma := make([]complex128, total)
+	for i, g := range gammaBits {
+		gamma[pad+i] = complex(s.deltaG*g, 0)
+	}
+	capture, err := s.Link.RoundTrip(tx, gamma, s.nodeGain)
+	if err != nil {
+		return false, rep, err
+	}
+	rep = s.Reader.Decode(capture, tx, 1) // ack payload: the echoed opcode
+	return rep.OK(), rep, nil
+}
+
+// RangingReport is the outcome of a time-of-flight ranging round.
+type RangingReport struct {
+	Rx             reader.RxReport
+	EstimatedRange float64 // m, one-way
+	TrueRange      float64 // m, the (sway-jittered) geometry ground truth
+}
+
+// RunRangingRound performs a query-response exchange with absolute
+// propagation delay preserved, so the reader can estimate the node's range
+// from the burst's time of flight — the localization primitive a
+// retrodirective node enables for free (it answers from any orientation
+// with no settling or steering delay). The exchange reuses the data path:
+// the same frame, FEC and demodulation; only the capture timeline differs.
+func (s *System) RunRangingRound() (RangingReport, error) {
+	var rep RangingReport
+	cfg := s.cfg.Reader
+	if s.cfg.SwayRMS > 0 {
+		if err := s.rebuildLink(); err != nil {
+			return rep, err
+		}
+	}
+	// True (jittered) one-way range from the link's bulk delay.
+	rep.TrueRange = s.Link.BulkDelaySeconds() / 2 * s.cfg.Env.MeanSoundSpeed()
+
+	gammaBits, err := s.Node.HandleQuery(&link.Frame{Type: link.FrameQuery, Addr: s.cfg.NodeAddr})
+	if err != nil {
+		return rep, err
+	}
+	if gammaBits == nil {
+		return rep, fmt.Errorf("core: node silent during ranging")
+	}
+	spc := cfg.PHY.SamplesPerChip()
+	pad := 4 * spc
+	total := pad + len(gammaBits) + 4*spc
+	tx := s.Reader.CarrierEnvelope(total)
+	gamma := make([]complex128, total)
+	for i, g := range gammaBits {
+		gamma[pad+i] = complex(s.deltaG*g, 0)
+	}
+	capture, err := s.Link.RoundTripAbsolute(tx, gamma, s.nodeGain)
+	if err != nil {
+		return rep, err
+	}
+	// Extend the canceller reference over the longer capture.
+	txRef := make([]complex128, len(capture))
+	copy(txRef, tx)
+	rep.Rx = s.Reader.Decode(capture, txRef, node.PayloadSize)
+	if rep.Rx.OK() {
+		rep.EstimatedRange = s.Reader.EstimateRange(rep.Rx.AcqStart, pad, s.cfg.Env.MeanSoundSpeed())
+	}
+	return rep, nil
+}
+
+// PredictedBudget returns the analytic budget matching this system's
+// geometry, for cross-validation of the two fidelity tiers.
+func (s *System) PredictedBudget() *LinkBudget {
+	b := NewLinkBudget(s.cfg.Env, s.cfg.Design)
+	b.ReaderDepth = s.cfg.ReaderDepth
+	b.NodeDepth = s.cfg.NodeDepth
+	b.Orientation = s.cfg.Orientation
+	b.SourceLevelDB = s.cfg.Reader.SourceLevelDB
+	b.ChipRate = s.cfg.Reader.PHY.ChipRate
+	if !s.cfg.Reader.UseDiversity {
+		b.DiversityGainDB = 0
+		b.DiversityBranches = 1
+	}
+	return b
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"vab/internal/link"
+	"vab/internal/node"
+	"vab/internal/ocean"
+	"vab/internal/reader"
+)
+
+func readerDefaultNoDiversity() reader.Config {
+	cfg := reader.DefaultConfig()
+	cfg.UseDiversity = false
+	return cfg
+}
+
+func riverSystem(t *testing.T, rangeM float64, seed int64) *System {
+	t.Helper()
+	env := ocean.CharlesRiver()
+	d, err := NewVanAttaDesign(DefaultNodeElements, env, DefaultCarrierHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSystem(SystemConfig{
+		Env:    env,
+		Design: d,
+		Range:  rangeM,
+		Seed:   seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(SystemConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	env := ocean.CharlesRiver()
+	d, _ := NewVanAttaDesign(4, env, DefaultCarrierHz)
+	if _, err := NewSystem(SystemConfig{Env: env, Design: d, Range: -5}); err == nil {
+		t.Error("negative range accepted")
+	}
+}
+
+func TestSystemRoundAtModerateRange(t *testing.T) {
+	s := riverSystem(t, 50, 3)
+	s.WakeNode(3600)
+	rep, err := s.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.QueryOK {
+		t.Fatal("query lost at 50 m")
+	}
+	if rep.NodeSilent {
+		t.Fatal("node silent")
+	}
+	if !rep.Rx.OK() {
+		t.Fatalf("uplink decode failed: %v", rep.Rx.Err)
+	}
+	if !rep.PayloadOK {
+		t.Error("payload did not parse")
+	}
+	if rep.Rx.Frame.Addr != s.Node.Addr() {
+		t.Errorf("frame from addr %d", rep.Rx.Frame.Addr)
+	}
+}
+
+func TestSystemMultipleRounds(t *testing.T) {
+	s := riverSystem(t, 40, 9)
+	s.WakeNode(3600)
+	ok := 0
+	for i := 0; i < 5; i++ {
+		s.WakeNode(60) // keep the reservoir topped up between polls
+		rep, err := s.RunRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Rx.OK() {
+			ok++
+		}
+	}
+	if ok < 4 {
+		t.Errorf("only %d/5 rounds decoded at 40 m", ok)
+	}
+	// Sequence numbers should advance.
+	if s.Node.Stats().FramesReturned < 4 {
+		t.Errorf("node returned %d frames", s.Node.Stats().FramesReturned)
+	}
+}
+
+func TestSystemNodeStaysSilentWithoutEnergy(t *testing.T) {
+	s := riverSystem(t, 50, 5)
+	// No WakeNode: reservoir empty.
+	rep, err := s.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.NodeSilent {
+		t.Error("starved node should stay silent")
+	}
+	if rep.Rx.OK() {
+		t.Error("reader decoded a frame nobody sent")
+	}
+}
+
+func TestSystemFailsGracefullyAtExtremeRange(t *testing.T) {
+	// 2 km in the river: far beyond the budget. The round must complete
+	// without error and report a decode failure, not a false success.
+	s := riverSystem(t, 2000, 7)
+	s.WakeNode(1e7) // even with infinite patience the uplink SNR is gone
+	rep, err := s.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rx.OK() {
+		t.Error("decoded a frame at 2 km; budget says impossible")
+	}
+}
+
+func TestSystemWaveformAgreesWithBudgetTier(t *testing.T) {
+	// Cross-validation of the two fidelity tiers on the controlled channel
+	// where both are unambiguous: the deep test tank has a single direct
+	// path (no multipath fades or ISI to saturate the waveform SNR
+	// estimator, no fading realizations to average over), so the waveform
+	// simulator's per-chip SNR estimate must track the analytic budget
+	// closely. Real environments are compared at the BER level instead
+	// (see the experiments package), since there a single waveform
+	// realization sits somewhere inside the fading distribution the budget
+	// tier averages over.
+	env := ocean.TestTank()
+	d, err := NewVanAttaDesign(DefaultNodeElements, env, DefaultCarrierHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rng := range []float64{100, 140, 180} {
+		cfg := SystemConfig{
+			Env: env, Design: d, Range: rng, Seed: 33,
+			ReaderDepth: 50, NodeDepth: 50,
+			DisableFading: true,
+		}
+		cfg.Reader = readerDefaultNoDiversity()
+		s, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.WakeNode(36000)
+		var est []float64
+		for j := 0; j < 3; j++ {
+			s.WakeNode(600)
+			rep, err := s.RunRound()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Rx.OK() && rep.ToneSNREst > 0 {
+				est = append(est, 10*math.Log10(rep.ToneSNREst))
+			}
+		}
+		if len(est) == 0 {
+			t.Fatalf("no decodes at %v m in the tank", rng)
+		}
+		var mean float64
+		for _, v := range est {
+			mean += v
+		}
+		mean /= float64(len(est))
+		want := s.PredictedBudget().ToneSNRdB(rng)
+		// The soft estimator's "losing tone" bin carries a small spectral
+		// leakage floor, biasing estimates low by a few dB at high SNR.
+		if math.Abs(mean-want) > 6 {
+			t.Errorf("r=%v: waveform SNR %.1f dB vs budget %.1f dB", rng, mean, want)
+		}
+	}
+}
+
+func TestSystemOceanDeployment(t *testing.T) {
+	env := ocean.AtlanticCoastal()
+	d, err := NewVanAttaDesign(DefaultNodeElements, env, DefaultCarrierHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSystem(SystemConfig{
+		// Near-surface mooring: the paper's coastal deployments float the
+		// node below a buoy. Mid-column placement at this site suffers a
+		// strong sub-critical bottom bounce 0.8 chips late (see the ISI
+		// ablation bench).
+		Env: env, Design: d, Range: 40, Seed: 13,
+		ReaderDepth: 3, NodeDepth: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.WakeNode(3600)
+	// The coastal waveguide throws strong late echoes (tens of chips of
+	// ISI); like the real deployment, individual rounds can fail and the
+	// polling MAC retries. Require success within a few attempts.
+	ok := false
+	for i := 0; i < 10 && !ok; i++ {
+		s.WakeNode(60)
+		rep, err := s.RunRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok = rep.Rx.OK()
+	}
+	if !ok {
+		t.Error("ocean deployment failed all 10 rounds at 40 m")
+	}
+}
+
+func TestCommandRoundPingAndMute(t *testing.T) {
+	s := riverSystem(t, 40, 27)
+	s.WakeNode(3600)
+	// Ping: expect an acknowledgement frame echoing the opcode.
+	acked := false
+	var rep reader.RxReport
+	var err error
+	for i := 0; i < 4 && !acked; i++ {
+		s.WakeNode(30)
+		acked, rep, err = s.RunCommandRound(node.PingPayload())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !acked {
+		t.Fatal("ping never acknowledged")
+	}
+	if rep.Frame.Type != link.FrameAck || len(rep.Frame.Payload) != 1 || rep.Frame.Payload[0] != node.CmdPing {
+		t.Errorf("ack frame %+v", rep.Frame)
+	}
+
+	// Mute: silently applied, and subsequent queries go unanswered.
+	acked, _, err = s.RunCommandRound(node.MutePayload(600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acked {
+		t.Error("mute must not be acknowledged")
+	}
+	if !s.Node.Muted() {
+		t.Fatal("node not muted")
+	}
+	roundRep, err := s.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !roundRep.NodeSilent {
+		t.Error("muted node answered a query")
+	}
+}
+
+func TestRecordRoundProducesCapture(t *testing.T) {
+	s := riverSystem(t, 40, 61)
+	if _, err := s.RecordRound(); err == nil {
+		t.Error("cold node should refuse to record")
+	}
+	s.WakeNode(3600)
+	capture, err := s.RecordRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capture) < 10000 {
+		t.Fatalf("capture of %d samples too short for a burst", len(capture))
+	}
+	// The capture must carry subcarrier energy somewhere.
+	var peak float64
+	for _, v := range capture {
+		if m := real(v)*real(v) + imag(v)*imag(v); m > peak {
+			peak = m
+		}
+	}
+	if peak <= 0 {
+		t.Error("empty capture")
+	}
+}
+
+func TestNodeClockSkewAtSystemLevel(t *testing.T) {
+	env := ocean.CharlesRiver()
+	d, _ := NewVanAttaDesign(DefaultNodeElements, env, DefaultCarrierHz)
+	run := func(ppm float64) int {
+		ok := 0
+		for seed := int64(0); seed < 6; seed++ {
+			s, err := NewSystem(SystemConfig{
+				Env: env, Design: d, Range: 40, NodeAddr: 1,
+				NodeClockPPM: ppm, Seed: 70 + seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.WakeNode(3600)
+			for i := 0; i < 3; i++ {
+				rep, err := s.RunRound()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Rx.OK() {
+					ok++
+					break
+				}
+				s.WakeNode(30)
+			}
+		}
+		return ok
+	}
+	// Crystal-class error: essentially transparent.
+	if got := run(100); got < 5 {
+		t.Errorf("100 ppm: only %d/6 deployments decoded", got)
+	}
+	// Grossly wrong oscillator: the link collapses.
+	if got := run(30000); got > 1 {
+		t.Errorf("30000 ppm: %d/6 deployments decoded; skew not modeled?", got)
+	}
+}

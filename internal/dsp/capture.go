@@ -1,0 +1,102 @@
+package dsp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Capture I/O: a minimal binary container for complex-baseband recordings,
+// so simulated waveforms can leave the process for external analysis
+// (plotting, replaying through other demodulators) and test vectors can be
+// checked in. Layout (big endian):
+//
+//	magic   uint32  "VABC"
+//	version uint16  1
+//	fs      float64 sample rate, Hz
+//	fc      float64 carrier frequency, Hz
+//	count   uint32  samples
+//	data    count × (float64 re, float64 im)
+
+// Capture is a complex-baseband recording with its radio parameters.
+type Capture struct {
+	SampleRate float64
+	CarrierHz  float64
+	Samples    []complex128
+}
+
+const captureMagic = uint32(0x56414243) // "VABC"
+
+// ErrBadCapture is returned for malformed capture streams.
+var ErrBadCapture = errors.New("dsp: malformed capture")
+
+// maxCaptureSamples bounds decoding so a corrupt header cannot demand
+// gigabytes (16 bytes per sample; 1<<26 samples = 1 GiB).
+const maxCaptureSamples = 1 << 26
+
+// WriteCapture serializes the capture to w.
+func WriteCapture(w io.Writer, c *Capture) error {
+	if c.SampleRate <= 0 {
+		return fmt.Errorf("dsp: capture sample rate %.3g must be positive", c.SampleRate)
+	}
+	if len(c.Samples) > maxCaptureSamples {
+		return fmt.Errorf("dsp: capture of %d samples exceeds the format limit", len(c.Samples))
+	}
+	hdr := make([]byte, 0, 4+2+8+8+4)
+	hdr = binary.BigEndian.AppendUint32(hdr, captureMagic)
+	hdr = binary.BigEndian.AppendUint16(hdr, 1)
+	hdr = binary.BigEndian.AppendUint64(hdr, math.Float64bits(c.SampleRate))
+	hdr = binary.BigEndian.AppendUint64(hdr, math.Float64bits(c.CarrierHz))
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(c.Samples)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	buf := make([]byte, 16)
+	for _, s := range c.Samples {
+		binary.BigEndian.PutUint64(buf[0:8], math.Float64bits(real(s)))
+		binary.BigEndian.PutUint64(buf[8:16], math.Float64bits(imag(s)))
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCapture parses a capture from r.
+func ReadCapture(r io.Reader) (*Capture, error) {
+	hdr := make([]byte, 4+2+8+8+4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadCapture, err)
+	}
+	if binary.BigEndian.Uint32(hdr[0:4]) != captureMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadCapture)
+	}
+	if v := binary.BigEndian.Uint16(hdr[4:6]); v != 1 {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadCapture, v)
+	}
+	c := &Capture{
+		SampleRate: math.Float64frombits(binary.BigEndian.Uint64(hdr[6:14])),
+		CarrierHz:  math.Float64frombits(binary.BigEndian.Uint64(hdr[14:22])),
+	}
+	if c.SampleRate <= 0 || math.IsNaN(c.SampleRate) {
+		return nil, fmt.Errorf("%w: sample rate %v", ErrBadCapture, c.SampleRate)
+	}
+	n := binary.BigEndian.Uint32(hdr[22:26])
+	if n > maxCaptureSamples {
+		return nil, fmt.Errorf("%w: %d samples exceeds the format limit", ErrBadCapture, n)
+	}
+	c.Samples = make([]complex128, n)
+	buf := make([]byte, 16)
+	for i := range c.Samples {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("%w: truncated at sample %d: %v", ErrBadCapture, i, err)
+		}
+		c.Samples[i] = complex(
+			math.Float64frombits(binary.BigEndian.Uint64(buf[0:8])),
+			math.Float64frombits(binary.BigEndian.Uint64(buf[8:16])),
+		)
+	}
+	return c, nil
+}

@@ -1,0 +1,98 @@
+package dsp
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCaptureRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := &Capture{
+		SampleRate: 16000,
+		CarrierHz:  18500,
+		Samples:    GaussianNoise(make([]complex128, 777), 2, rng),
+	}
+	var buf bytes.Buffer
+	if err := WriteCapture(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SampleRate != c.SampleRate || got.CarrierHz != c.CarrierHz {
+		t.Errorf("metadata: %+v", got)
+	}
+	if len(got.Samples) != len(c.Samples) {
+		t.Fatalf("sample count %d", len(got.Samples))
+	}
+	for i := range c.Samples {
+		if got.Samples[i] != c.Samples[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}
+
+func TestCaptureRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16, fs, fc float64) bool {
+		if fs <= 0 || fs != fs { // NaN guard
+			fs = 8000
+		}
+		n := int(nRaw) % 300
+		rng := rand.New(rand.NewSource(seed))
+		c := &Capture{SampleRate: fs, CarrierHz: fc,
+			Samples: GaussianNoise(make([]complex128, n), 1, rng)}
+		var buf bytes.Buffer
+		if err := WriteCapture(&buf, c); err != nil {
+			return false
+		}
+		got, err := ReadCapture(&buf)
+		if err != nil || len(got.Samples) != n {
+			return false
+		}
+		for i := range c.Samples {
+			if got.Samples[i] != c.Samples[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCaptureErrors(t *testing.T) {
+	if err := WriteCapture(&bytes.Buffer{}, &Capture{SampleRate: 0}); err == nil {
+		t.Error("zero sample rate accepted")
+	}
+	if _, err := ReadCapture(bytes.NewReader([]byte{1, 2, 3})); !errors.Is(err, ErrBadCapture) {
+		t.Errorf("short header: %v", err)
+	}
+	// Bad magic.
+	var buf bytes.Buffer
+	WriteCapture(&buf, &Capture{SampleRate: 1, Samples: []complex128{1}})
+	b := buf.Bytes()
+	b[0] ^= 0xFF
+	if _, err := ReadCapture(bytes.NewReader(b)); !errors.Is(err, ErrBadCapture) {
+		t.Errorf("bad magic: %v", err)
+	}
+	// Truncated payload.
+	buf.Reset()
+	WriteCapture(&buf, &Capture{SampleRate: 1, Samples: []complex128{1, 2, 3}})
+	b = buf.Bytes()
+	if _, err := ReadCapture(bytes.NewReader(b[:len(b)-5])); !errors.Is(err, ErrBadCapture) {
+		t.Errorf("truncation: %v", err)
+	}
+	// Oversize count claim cannot allocate.
+	buf.Reset()
+	WriteCapture(&buf, &Capture{SampleRate: 1, Samples: nil})
+	b = buf.Bytes()
+	b[22], b[23], b[24], b[25] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := ReadCapture(bytes.NewReader(b)); !errors.Is(err, ErrBadCapture) {
+		t.Errorf("oversize count: %v", err)
+	}
+}

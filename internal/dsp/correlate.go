@@ -1,0 +1,116 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// XCorr returns the cross-correlation of x against reference ref at every
+// alignment where ref fits fully inside x:
+//
+//	out[k] = Σ_n x[k+n]·conj(ref[n]),  k = 0 … len(x)-len(ref)
+//
+// It is the sliding matched filter used for preamble acquisition. For short
+// references the direct method is used; long references go through FFT
+// convolution.
+func XCorr(x, ref []complex128) []complex128 {
+	if len(ref) == 0 || len(x) < len(ref) {
+		return nil
+	}
+	nOut := len(x) - len(ref) + 1
+	// Heuristic: direct O(n·m) beats FFT for small m.
+	if len(ref) <= 64 {
+		out := make([]complex128, nOut)
+		for k := 0; k < nOut; k++ {
+			var acc complex128
+			for n, r := range ref {
+				acc += x[k+n] * cmplx.Conj(r)
+			}
+			out[k] = acc
+		}
+		return out
+	}
+	// FFT path: correlation = convolution with conjugated, reversed ref.
+	rev := make([]complex128, len(ref))
+	for i, r := range ref {
+		rev[len(ref)-1-i] = cmplx.Conj(r)
+	}
+	full := Convolve(x, rev)
+	// Valid region starts at len(ref)-1.
+	return full[len(ref)-1 : len(ref)-1+nOut]
+}
+
+// NormXCorr returns the normalized cross-correlation magnitude in [0, 1]:
+// |xcorr| / (|x window| · |ref|). A peak near 1 indicates a clean preamble
+// hit regardless of channel gain.
+func NormXCorr(x, ref []complex128) []float64 {
+	raw := XCorr(x, ref)
+	if raw == nil {
+		return nil
+	}
+	refE := Energy(ref)
+	if refE == 0 {
+		return make([]float64, len(raw))
+	}
+	out := make([]float64, len(raw))
+	// Sliding window energy of x.
+	var winE float64
+	m := len(ref)
+	for i := 0; i < m; i++ {
+		winE += sq(x[i])
+	}
+	for k := range raw {
+		den := winE * refE
+		if den > 0 {
+			c := raw[k]
+			out[k] = (real(c)*real(c) + imag(c)*imag(c)) / den
+		}
+		if k+m < len(x) {
+			winE += sq(x[k+m]) - sq(x[k])
+			if winE < 0 {
+				winE = 0
+			}
+		}
+	}
+	// Return sqrt so values are amplitude-normalized correlation.
+	for i, v := range out {
+		out[i] = sqrt64(v)
+	}
+	return out
+}
+
+func sq(c complex128) float64 { return real(c)*real(c) + imag(c)*imag(c) }
+
+func sqrt64(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+// ArgMaxAbs returns the index and magnitude of the largest-magnitude element.
+func ArgMaxAbs(x []complex128) (int, float64) {
+	best := -1.0
+	idx := 0
+	for i, v := range x {
+		m := sq(v)
+		if m > best {
+			best = m
+			idx = i
+		}
+	}
+	return idx, sqrt64(best)
+}
+
+// ArgMax returns the index and value of the largest element of a real slice.
+func ArgMax(x []float64) (int, float64) {
+	idx := 0
+	best := x[0]
+	for i, v := range x {
+		if v > best {
+			best = v
+			idx = i
+		}
+	}
+	return idx, best
+}

@@ -1,0 +1,179 @@
+package dsp
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestXCorrDirectVsFFT(t *testing.T) {
+	// The implementation switches to FFT above 64 reference samples; both
+	// paths must agree with the brute-force definition.
+	rng := rand.New(rand.NewSource(21))
+	for _, m := range []int{8, 64, 65, 200} {
+		x := randComplex(rng, 400)
+		ref := randComplex(rng, m)
+		got := XCorr(x, ref)
+		if len(got) != len(x)-m+1 {
+			t.Fatalf("m=%d: length %d, want %d", m, len(got), len(x)-m+1)
+		}
+		for k := 0; k < len(got); k += 37 { // spot-check
+			var want complex128
+			for n := 0; n < m; n++ {
+				want += x[k+n] * cmplx.Conj(ref[n])
+			}
+			if !approxEqC(got[k], want, 1e-6) {
+				t.Errorf("m=%d k=%d: got %v want %v", m, k, got[k], want)
+			}
+		}
+	}
+}
+
+func TestXCorrDegenerate(t *testing.T) {
+	if XCorr(nil, []complex128{1}) != nil {
+		t.Error("short x should return nil")
+	}
+	if XCorr([]complex128{1, 2}, nil) != nil {
+		t.Error("empty ref should return nil")
+	}
+	if XCorr([]complex128{1}, []complex128{1, 2}) != nil {
+		t.Error("ref longer than x should return nil")
+	}
+}
+
+func TestNormXCorrPeakAtEmbedding(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ref := randComplex(rng, 63)
+	x := make([]complex128, 300)
+	GaussianNoise(x, 0.01, rng)
+	// Embed a scaled, rotated copy of ref at offset 100.
+	g := complex(3, 1)
+	for i, r := range ref {
+		x[100+i] += g * r
+	}
+	nc := NormXCorr(x, ref)
+	idx, peak := ArgMax(nc)
+	if idx != 100 {
+		t.Fatalf("peak at %d, want 100", idx)
+	}
+	if peak < 0.95 {
+		t.Errorf("peak %v, want near 1 (gain-invariant)", peak)
+	}
+	// Away from the embedding, correlation should be low.
+	for k := 0; k < 40; k++ {
+		if nc[k] > 0.5 {
+			t.Errorf("spurious correlation %v at %d", nc[k], k)
+		}
+	}
+}
+
+func TestNormXCorrBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := randComplex(rng, 256)
+	ref := randComplex(rng, 32)
+	for i, v := range NormXCorr(x, ref) {
+		if v < 0 || v > 1+1e-9 {
+			t.Errorf("norm xcorr[%d] = %v outside [0,1]", i, v)
+		}
+	}
+}
+
+func TestNormXCorrZeroRef(t *testing.T) {
+	x := randComplex(rand.New(rand.NewSource(1)), 16)
+	out := NormXCorr(x, make([]complex128, 4))
+	for _, v := range out {
+		if v != 0 {
+			t.Error("zero reference should yield zero correlation")
+		}
+	}
+}
+
+func TestArgMaxAbs(t *testing.T) {
+	x := []complex128{1, complex(0, -5), 2}
+	idx, mag := ArgMaxAbs(x)
+	if idx != 1 || !approxEq(mag, 5, 1e-12) {
+		t.Errorf("ArgMaxAbs = (%d, %v)", idx, mag)
+	}
+}
+
+func TestFractionalDelayInteger(t *testing.T) {
+	x := []complex128{1, 2, 3, 4, 5}
+	y := FractionalDelay(x, 2, 8)
+	want := []complex128{0, 0, 1, 2, 3}
+	for i := range want {
+		if !approxEqC(y[i], want[i], 1e-12) {
+			t.Errorf("y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestFractionalDelayHalfSampleTone(t *testing.T) {
+	// Delaying a complex exponential by d samples multiplies it by
+	// e^{-j2πfd/fs}; verify phase accuracy in the interior.
+	fs := 16000.0
+	f := 1200.0
+	n := 512
+	x := tone(f, fs, n, 1, 0)
+	d := 3.5
+	y := FractionalDelay(x, d, 16)
+	expected := cmplx.Rect(1, -Tau*f*d/fs)
+	for i := 50; i < n-50; i++ {
+		want := x[i] * expected
+		if !approxEqC(y[i], want, 0.01) {
+			t.Fatalf("sample %d: got %v want %v", i, y[i], want)
+		}
+	}
+}
+
+func TestFractionalDelayPanicsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for negative delay")
+		}
+	}()
+	FractionalDelay([]complex128{1}, -1, 8)
+}
+
+func TestDecimateUpsampleRoundTrip(t *testing.T) {
+	fs := 16000.0
+	n := 1024
+	// Band-limited signal: 300 Hz tone, well inside fs/8.
+	x := tone(300, fs, n, 1, 0)
+	down, err := Decimate(x, 4, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(down) != n/4 {
+		t.Fatalf("decimated length %d", len(down))
+	}
+	up, err := Upsample(down, 4, fs/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against the original in the interior, allowing for the two
+	// filter group delays: the decimation filter contributes 31 samples at
+	// the original rate and the interpolation filter another 31, so the
+	// round trip lags by 62 samples.
+	delay := 31 + 31
+	var err2, sig float64
+	for i := 200; i < 700; i++ {
+		d := cmplx.Abs(up[i+delay] - x[i])
+		err2 += d * d
+		sig += sq(x[i])
+	}
+	if err2/sig > 0.05 {
+		t.Errorf("round-trip relative error %v too high", err2/sig)
+	}
+}
+
+func TestDecimateFactorOne(t *testing.T) {
+	x := []complex128{1, 2, 3}
+	y, err := Decimate(x, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y[0] = 99
+	if x[0] == 99 {
+		t.Error("factor-1 decimate must copy")
+	}
+}

@@ -1,0 +1,194 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// FFT returns the discrete Fourier transform of x. The input is not
+// modified. Power-of-two lengths use an iterative radix-2 Cooley-Tukey
+// transform; other lengths fall back to Bluestein's algorithm, so any
+// length is supported in O(n log n).
+func FFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlace(out, false)
+	return out
+}
+
+// IFFT returns the inverse DFT of x (with 1/n normalization).
+func IFFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlace(out, true)
+	return out
+}
+
+// fftInPlace transforms x in place. inverse selects the inverse transform,
+// which includes the 1/n scaling.
+func fftInPlace(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if IsPow2(n) {
+		radix2(x, inverse)
+	} else {
+		bluestein(x, inverse)
+	}
+	if inverse {
+		s := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= s
+		}
+	}
+}
+
+// radix2 performs an unnormalized in-place radix-2 DIT FFT. len(x) must be a
+// power of two.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * Tau / float64(length)
+		wl := cmplx.Rect(1, ang)
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := x[i+j]
+				v := x[i+j+half] * w
+				x[i+j] = u + v
+				x[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// bluestein computes an unnormalized DFT of arbitrary length via the
+// chirp-z transform, using two power-of-two FFT convolutions.
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp w[k] = exp(sign*iπk²/n). k² mod 2n avoids precision loss for
+	// large k.
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		chirp[k] = cmplx.Rect(1, sign*math.Pi*float64(kk)/float64(n))
+	}
+	m := NextPow2(2*n - 1)
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+	}
+	b[0] = cmplx.Conj(chirp[0])
+	for k := 1; k < n; k++ {
+		c := cmplx.Conj(chirp[k])
+		b[k] = c
+		b[m-k] = c
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	inv := complex(1/float64(m), 0) // undo unnormalized inverse
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * inv * chirp[k]
+	}
+}
+
+// RFFT computes the DFT of a real sequence, returning the full complex
+// spectrum (length len(x)).
+func RFFT(x []float64) []complex128 {
+	return FFT(ToComplex(x))
+}
+
+// FFTFreqs returns the frequency in hertz of each DFT bin for an n-point
+// transform at sample rate fs, following the usual convention where bins
+// above n/2 represent negative frequencies.
+func FFTFreqs(n int, fs float64) []float64 {
+	f := make([]float64, n)
+	for i := range f {
+		k := i
+		if i > n/2 {
+			k = i - n
+		}
+		f[i] = float64(k) * fs / float64(n)
+	}
+	return f
+}
+
+// FFTShift reorders a spectrum so that the zero-frequency bin is centered.
+func FFTShift(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	h := (n + 1) / 2
+	copy(out, x[h:])
+	copy(out[n-h:], x[:h])
+	return out
+}
+
+// Convolve returns the full linear convolution of a and b
+// (length len(a)+len(b)-1) computed via FFT.
+func Convolve(a, b []complex128) []complex128 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	n := len(a) + len(b) - 1
+	m := NextPow2(n)
+	fa := make([]complex128, m)
+	fb := make([]complex128, m)
+	copy(fa, a)
+	copy(fb, b)
+	radix2(fa, false)
+	radix2(fb, false)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	radix2(fa, true)
+	inv := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = fa[i] * inv
+	}
+	return out
+}
+
+// PowerSpectrum returns |FFT(x)|²/n for each bin, a periodogram estimate of
+// the power spectral density scaled so that the sum over bins equals the
+// signal power.
+func PowerSpectrum(x []complex128) []float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	s := FFT(x)
+	ps := make([]float64, n)
+	inv := 1 / (float64(n) * float64(n))
+	for i, v := range s {
+		ps[i] = (real(v)*real(v) + imag(v)*imag(v)) * inv
+	}
+	return ps
+}

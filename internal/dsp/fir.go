@@ -1,0 +1,231 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// FIR is a finite-impulse-response filter with real taps. It filters complex
+// baseband samples and keeps internal state so that long signals can be
+// processed in chunks.
+type FIR struct {
+	taps  []float64
+	state []complex128 // last len(taps)-1 inputs, most recent last
+}
+
+// NewFIR builds a filter from the given taps. The taps slice is copied.
+func NewFIR(taps []float64) *FIR {
+	if len(taps) == 0 {
+		panic("dsp: NewFIR requires at least one tap")
+	}
+	t := make([]float64, len(taps))
+	copy(t, taps)
+	return &FIR{taps: t, state: make([]complex128, len(taps)-1)}
+}
+
+// Taps returns a copy of the filter taps.
+func (f *FIR) Taps() []float64 {
+	t := make([]float64, len(f.taps))
+	copy(t, f.taps)
+	return t
+}
+
+// Reset clears the filter state.
+func (f *FIR) Reset() {
+	for i := range f.state {
+		f.state[i] = 0
+	}
+}
+
+// Process filters x, returning one output per input sample (streaming form:
+// the convolution tail is kept as state for the next call).
+func (f *FIR) Process(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	f.ProcessInto(out, x)
+	return out
+}
+
+// ProcessInto filters x into dst, which must have the same length as x.
+// dst and x may alias: each input sample is copied into the state ring
+// before its output slot is written.
+func (f *FIR) ProcessInto(dst, x []complex128) {
+	if len(dst) != len(x) {
+		panic("dsp: ProcessInto length mismatch")
+	}
+	nt := len(f.taps)
+	ns := nt - 1
+	if ns == 0 {
+		g := complex(f.taps[0], 0)
+		for i, v := range x {
+			dst[i] = g * v
+		}
+		return
+	}
+	// f.state holds the previous ns raw inputs, most recent last. Treat it
+	// as a ring with head pointing at the oldest entry.
+	head := 0
+	for i := 0; i < len(x); i++ {
+		xi := x[i]
+		acc := complex(f.taps[0], 0) * xi
+		// taps[k] pairs with the input k samples ago: walking backward
+		// from the newest state entry.
+		idx := head + ns - 1
+		for k := 1; k < nt; k++ {
+			j := idx - (k - 1)
+			if j >= ns {
+				j -= ns
+			}
+			if j < 0 {
+				j += ns
+			}
+			acc += complex(f.taps[k], 0) * f.state[j]
+		}
+		// Push xi: overwrite the oldest entry and advance the head.
+		f.state[head] = xi
+		head++
+		if head == ns {
+			head = 0
+		}
+		dst[i] = acc
+	}
+	// Normalize the ring so state[0..ns-1] is oldest→newest for the next
+	// call (and for Reset/streaming consistency).
+	if head != 0 {
+		rot := make([]complex128, ns)
+		copy(rot, f.state[head:])
+		copy(rot[ns-head:], f.state[:head])
+		copy(f.state, rot)
+	}
+}
+
+// GroupDelay returns the group delay in samples of a linear-phase
+// (symmetric) FIR: (n-1)/2.
+func (f *FIR) GroupDelay() float64 { return float64(len(f.taps)-1) / 2 }
+
+// FreqResponse evaluates the filter's complex frequency response at the
+// normalized frequency fNorm = f/fs in [-0.5, 0.5].
+func (f *FIR) FreqResponse(fNorm float64) complex128 {
+	var re, im float64
+	for k, t := range f.taps {
+		ang := -Tau * fNorm * float64(k)
+		re += t * math.Cos(ang)
+		im += t * math.Sin(ang)
+	}
+	return complex(re, im)
+}
+
+// LowpassFIR designs an n-tap windowed-sinc lowpass filter with cutoff
+// frequency cutoffHz at sample rate fsHz.
+func LowpassFIR(n int, cutoffHz, fsHz float64, w Window) (*FIR, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dsp: lowpass needs n >= 1 taps, got %d", n)
+	}
+	if cutoffHz <= 0 || cutoffHz >= fsHz/2 {
+		return nil, fmt.Errorf("dsp: cutoff %.3g Hz outside (0, fs/2) for fs=%.3g", cutoffHz, fsHz)
+	}
+	fc := cutoffHz / fsHz // normalized cutoff (cycles/sample)
+	taps := make([]float64, n)
+	mid := float64(n-1) / 2
+	win := w.Coefficients(n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := float64(i) - mid
+		taps[i] = 2 * fc * Sinc(2*fc*x) * win[i]
+		sum += taps[i]
+	}
+	// Normalize to unity DC gain.
+	for i := range taps {
+		taps[i] /= sum
+	}
+	return NewFIR(taps), nil
+}
+
+// HighpassFIR designs an n-tap windowed-sinc highpass filter by spectral
+// inversion of the corresponding lowpass. n must be odd so the impulse has a
+// well-defined center tap.
+func HighpassFIR(n int, cutoffHz, fsHz float64, w Window) (*FIR, error) {
+	if n%2 == 0 {
+		return nil, fmt.Errorf("dsp: highpass needs odd tap count, got %d", n)
+	}
+	lp, err := LowpassFIR(n, cutoffHz, fsHz, w)
+	if err != nil {
+		return nil, err
+	}
+	taps := lp.Taps()
+	for i := range taps {
+		taps[i] = -taps[i]
+	}
+	taps[(n-1)/2] += 1
+	return NewFIR(taps), nil
+}
+
+// BandpassFIR designs an n-tap windowed-sinc bandpass filter for the band
+// [lowHz, highHz]. Gain is normalized to unity at the band center.
+func BandpassFIR(n int, lowHz, highHz, fsHz float64, w Window) (*FIR, error) {
+	if lowHz <= 0 || highHz >= fsHz/2 || lowHz >= highHz {
+		return nil, fmt.Errorf("dsp: bandpass band [%.3g, %.3g] invalid for fs=%.3g", lowHz, highHz, fsHz)
+	}
+	f1 := lowHz / fsHz
+	f2 := highHz / fsHz
+	taps := make([]float64, n)
+	mid := float64(n-1) / 2
+	win := w.Coefficients(n)
+	for i := 0; i < n; i++ {
+		x := float64(i) - mid
+		taps[i] = (2*f2*Sinc(2*f2*x) - 2*f1*Sinc(2*f1*x)) * win[i]
+	}
+	fir := NewFIR(taps)
+	fcMid := (lowHz + highHz) / 2 / fsHz
+	g := fir.FreqResponse(fcMid)
+	mag := math.Hypot(real(g), imag(g))
+	if mag > 0 {
+		for i := range fir.taps {
+			fir.taps[i] /= mag
+		}
+	}
+	return fir, nil
+}
+
+// DCBlocker is a one-pole IIR DC-removal filter:
+//
+//	y[n] = x[n] - x[n-1] + r*y[n-1]
+//
+// with r close to 1. It is the reader's cheapest self-interference notch:
+// at complex baseband the direct-path carrier leakage sits at DC.
+type DCBlocker struct {
+	r      float64
+	xPrev  complex128
+	yPrev  complex128
+	primed bool
+}
+
+// NewDCBlocker builds a DC blocker with pole radius r in (0, 1). Larger r
+// gives a narrower notch.
+func NewDCBlocker(r float64) *DCBlocker {
+	if r <= 0 || r >= 1 {
+		panic("dsp: DC blocker pole radius must be in (0,1)")
+	}
+	return &DCBlocker{r: r}
+}
+
+// Process filters x in place and returns x.
+func (d *DCBlocker) Process(x []complex128) []complex128 {
+	for i, v := range x {
+		if !d.primed {
+			// Seed history with the first sample so a constant input is
+			// suppressed from the start instead of producing a step.
+			d.xPrev = v
+			d.primed = true
+		}
+		y := v - d.xPrev + complex(d.r, 0)*d.yPrev
+		d.xPrev = v
+		d.yPrev = y
+		x[i] = y
+	}
+	return x
+}
+
+// Reset clears the blocker's history.
+func (d *DCBlocker) Reset() {
+	d.xPrev, d.yPrev, d.primed = 0, 0, false
+}

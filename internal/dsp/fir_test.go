@@ -1,0 +1,197 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestLowpassFIRPassbandStopband(t *testing.T) {
+	fs := 16000.0
+	lp, err := LowpassFIR(101, 2000, fs, Hamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DC gain should be exactly 1 after normalization.
+	if g := cmplx.Abs(lp.FreqResponse(0)); !approxEq(g, 1, 1e-12) {
+		t.Errorf("DC gain = %v, want 1", g)
+	}
+	// Passband (500 Hz) close to 1.
+	if g := cmplx.Abs(lp.FreqResponse(500 / fs)); math.Abs(g-1) > 0.01 {
+		t.Errorf("passband gain = %v, want ~1", g)
+	}
+	// Stopband (5 kHz) strongly attenuated.
+	if g := cmplx.Abs(lp.FreqResponse(5000 / fs)); g > 0.01 {
+		t.Errorf("stopband gain = %v, want < 0.01", g)
+	}
+}
+
+func TestHighpassFIR(t *testing.T) {
+	fs := 16000.0
+	hp, err := HighpassFIR(101, 2000, fs, Hamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := cmplx.Abs(hp.FreqResponse(0)); g > 1e-10 {
+		t.Errorf("DC gain = %v, want ~0", g)
+	}
+	if g := cmplx.Abs(hp.FreqResponse(6000 / fs)); math.Abs(g-1) > 0.02 {
+		t.Errorf("passband gain = %v, want ~1", g)
+	}
+	if _, err := HighpassFIR(100, 2000, fs, Hamming); err == nil {
+		t.Error("even tap count should be rejected")
+	}
+}
+
+func TestBandpassFIR(t *testing.T) {
+	fs := 16000.0
+	bp, err := BandpassFIR(201, 900, 1100, fs, Hamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := cmplx.Abs(bp.FreqResponse(1000 / fs)); math.Abs(g-1) > 0.02 {
+		t.Errorf("center gain = %v, want ~1", g)
+	}
+	for _, f := range []float64{0, 200, 4000} {
+		if g := cmplx.Abs(bp.FreqResponse(f / fs)); g > 0.05 {
+			t.Errorf("gain at %v Hz = %v, want small", f, g)
+		}
+	}
+}
+
+func TestFIRDesignErrors(t *testing.T) {
+	if _, err := LowpassFIR(0, 100, 1000, Hann); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := LowpassFIR(11, 600, 1000, Hann); err == nil {
+		t.Error("cutoff above Nyquist should error")
+	}
+	if _, err := BandpassFIR(11, 400, 300, 1000, Hann); err == nil {
+		t.Error("inverted band should error")
+	}
+}
+
+func TestFIRStreamingMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	lp, _ := LowpassFIR(31, 1000, 8000, Hann)
+	x := randComplex(rng, 256)
+	batch := lp.Process(x)
+
+	lp2, _ := LowpassFIR(31, 1000, 8000, Hann)
+	var stream []complex128
+	// Chunks of varying sizes, including sizes smaller than the tap count.
+	for _, chunk := range [][2]int{{0, 7}, {7, 10}, {10, 100}, {100, 256}} {
+		stream = append(stream, lp2.Process(x[chunk[0]:chunk[1]])...)
+	}
+	for i := range batch {
+		if !approxEqC(batch[i], stream[i], 1e-10) {
+			t.Fatalf("sample %d: batch %v != stream %v", i, batch[i], stream[i])
+		}
+	}
+}
+
+func TestFIRReset(t *testing.T) {
+	lp, _ := LowpassFIR(15, 1000, 8000, Hann)
+	x := []complex128{1, 2, 3, 4, 5, 6, 7, 8}
+	a := lp.Process(x)
+	lp.Reset()
+	b := lp.Process(x)
+	for i := range a {
+		if !approxEqC(a[i], b[i], 1e-12) {
+			t.Fatalf("after Reset output differs at %d", i)
+		}
+	}
+}
+
+func TestFIRImpulseResponseEqualsTaps(t *testing.T) {
+	taps := []float64{0.25, 0.5, 0.25}
+	f := NewFIR(taps)
+	imp := make([]complex128, 6)
+	imp[0] = 1
+	y := f.Process(imp)
+	want := []float64{0.25, 0.5, 0.25, 0, 0, 0}
+	for i := range want {
+		if !approxEq(real(y[i]), want[i], 1e-12) || !approxEq(imag(y[i]), 0, 1e-12) {
+			t.Errorf("impulse response[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestDCBlockerRemovesDC(t *testing.T) {
+	d := NewDCBlocker(0.995)
+	n := 4000
+	x := make([]complex128, n)
+	for i := range x {
+		// Strong DC plus small tone at 0.1·fs.
+		x[i] = complex(10, 0) + cmplx.Rect(0.1, Tau*0.1*float64(i))
+	}
+	y := d.Process(x)
+	// After settling, the DC component should be gone but the tone kept.
+	tail := y[n/2:]
+	g := NewGoertzel(0.1, 1) // normalized fs=1
+	toneE := g.Energy(tail) / float64(len(tail))
+	dc := NewGoertzel(0, 1)
+	dcE := dc.Energy(tail) / float64(len(tail))
+	if dcE > toneE/100 {
+		t.Errorf("residual DC energy %v vs tone %v; notch too weak", dcE, toneE)
+	}
+	if toneE < 0.001 {
+		t.Errorf("tone destroyed by DC blocker: %v", toneE)
+	}
+}
+
+func TestDCBlockerPanicsOnBadPole(t *testing.T) {
+	for _, r := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("r=%v should panic", r)
+				}
+			}()
+			NewDCBlocker(r)
+		}()
+	}
+}
+
+func TestGroupDelay(t *testing.T) {
+	lp, _ := LowpassFIR(31, 1000, 8000, Hann)
+	if gd := lp.GroupDelay(); gd != 15 {
+		t.Errorf("group delay = %v, want 15", gd)
+	}
+}
+
+func TestFIRProcessIntoAliasSafe(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	lp, _ := LowpassFIR(31, 1000, 8000, Hann)
+	x := randComplex(rng, 300)
+	want := lp.Process(append([]complex128(nil), x...))
+
+	lp2, _ := LowpassFIR(31, 1000, 8000, Hann)
+	buf := append([]complex128(nil), x...)
+	lp2.ProcessInto(buf, buf) // in place
+	for i := range want {
+		if !approxEqC(want[i], buf[i], 1e-10) {
+			t.Fatalf("in-place output differs at %d: %v vs %v", i, buf[i], want[i])
+		}
+	}
+}
+
+func TestFIRRingStateAcrossChunks(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	x := randComplex(rng, 97) // awkward chunk sizes vs 31 taps
+	lp, _ := LowpassFIR(31, 1000, 8000, Hann)
+	batch := lp.Process(x)
+	lp2, _ := LowpassFIR(31, 1000, 8000, Hann)
+	var stream []complex128
+	for _, cut := range [][2]int{{0, 5}, {5, 36}, {36, 37}, {37, 97}} {
+		chunk := append([]complex128(nil), x[cut[0]:cut[1]]...)
+		lp2.ProcessInto(chunk, chunk)
+		stream = append(stream, chunk...)
+	}
+	for i := range batch {
+		if !approxEqC(batch[i], stream[i], 1e-10) {
+			t.Fatalf("chunked in-place differs at %d", i)
+		}
+	}
+}

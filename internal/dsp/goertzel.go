@@ -1,0 +1,99 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Goertzel evaluates a single DFT bin over fixed-length blocks, the
+// work-horse of the noncoherent FSK demodulator: per bit interval the
+// receiver compares Goertzel energy at the two subcarrier frequencies.
+// It is O(n) per block with two multiplies per sample, far cheaper than an
+// FFT when only a handful of bins are needed.
+type Goertzel struct {
+	coeff complex128 // e^{j2πf/fs}
+}
+
+// NewGoertzel constructs a detector for frequency fHz at sample rate fsHz.
+// fHz may be negative (lower sideband at complex baseband).
+func NewGoertzel(fHz, fsHz float64) *Goertzel {
+	return &Goertzel{coeff: cmplx.Rect(1, Tau*fHz/fsHz)}
+}
+
+// Correlate returns the complex correlation of block x against the tone:
+// sum x[n]·e^{-j2πfn/fs}. For complex input this is an exact single-bin DFT.
+func (g *Goertzel) Correlate(x []complex128) complex128 {
+	// Direct complex heterodyne accumulation: numerically robust and just as
+	// fast as the classic two-real-multiplies recursion for complex input.
+	w := complex(1, 0)
+	conjStep := cmplx.Conj(g.coeff)
+	var acc complex128
+	for _, v := range x {
+		acc += v * w
+		w *= conjStep
+	}
+	return acc
+}
+
+// Energy returns |Correlate(x)|², the tone energy in the block.
+func (g *Goertzel) Energy(x []complex128) float64 {
+	c := g.Correlate(x)
+	return real(c)*real(c) + imag(c)*imag(c)
+}
+
+// ToneBank correlates blocks against a fixed set of tones, returning the
+// per-tone energies. Used for M-ary FSK detection.
+type ToneBank struct {
+	dets  []*Goertzel
+	freqs []float64
+}
+
+// NewToneBank builds detectors for each frequency in freqsHz.
+func NewToneBank(freqsHz []float64, fsHz float64) *ToneBank {
+	tb := &ToneBank{
+		dets:  make([]*Goertzel, len(freqsHz)),
+		freqs: append([]float64(nil), freqsHz...),
+	}
+	for i, f := range freqsHz {
+		tb.dets[i] = NewGoertzel(f, fsHz)
+	}
+	return tb
+}
+
+// Freqs returns the tone frequencies in Hz.
+func (tb *ToneBank) Freqs() []float64 {
+	return append([]float64(nil), tb.freqs...)
+}
+
+// Energies fills dst (which must have one entry per tone) with the tone
+// energies of block x and returns dst.
+func (tb *ToneBank) Energies(dst []float64, x []complex128) []float64 {
+	if len(dst) != len(tb.dets) {
+		panic("dsp: ToneBank.Energies dst length mismatch")
+	}
+	for i, d := range tb.dets {
+		dst[i] = d.Energy(x)
+	}
+	return dst
+}
+
+// Best returns the index of the tone with maximum energy in x along with
+// the winning and runner-up energies. It panics if the bank is empty.
+func (tb *ToneBank) Best(x []complex128) (idx int, best, second float64) {
+	if len(tb.dets) == 0 {
+		panic("dsp: Best on empty ToneBank")
+	}
+	best = math.Inf(-1)
+	second = math.Inf(-1)
+	for i, d := range tb.dets {
+		e := d.Energy(x)
+		if e > best {
+			second = best
+			best = e
+			idx = i
+		} else if e > second {
+			second = e
+		}
+	}
+	return idx, best, second
+}

@@ -1,0 +1,104 @@
+package dsp
+
+import "math"
+
+// FractionalDelay returns x delayed by the (possibly fractional) number of
+// samples d >= 0, using a windowed-sinc interpolator of the given half-width
+// (taps per side). The output has the same length as the input; samples
+// shifted in from before the signal are zero.
+//
+// Multipath arrivals in the channel simulator rarely land on sample
+// boundaries; this keeps inter-arrival phase relationships exact.
+func FractionalDelay(x []complex128, d float64, halfWidth int) []complex128 {
+	if d < 0 {
+		panic("dsp: FractionalDelay requires d >= 0")
+	}
+	n := len(x)
+	out := make([]complex128, n)
+	di := int(math.Floor(d))
+	frac := d - float64(di)
+	if frac == 0 {
+		// Pure integer shift.
+		for i := di; i < n; i++ {
+			out[i] = x[i-di]
+		}
+		return out
+	}
+	// Windowed-sinc kernel centered at frac.
+	k := make([]float64, 2*halfWidth)
+	var sum float64
+	for i := range k {
+		t := float64(i-halfWidth+1) - frac
+		// Hann window over the kernel support.
+		w := 0.5 + 0.5*math.Cos(math.Pi*t/float64(halfWidth))
+		if t <= -float64(halfWidth) || t >= float64(halfWidth) {
+			w = 0
+		}
+		k[i] = Sinc(t) * w
+		sum += k[i]
+	}
+	for i := range k {
+		k[i] /= sum
+	}
+	for i := 0; i < n; i++ {
+		var acc complex128
+		for j, kj := range k {
+			src := i - di - (j - halfWidth + 1)
+			if src >= 0 && src < n {
+				acc += complex(kj, 0) * x[src]
+			}
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// Decimate returns every factor-th sample of x after lowpass filtering to
+// avoid aliasing. factor must be >= 1.
+func Decimate(x []complex128, factor int, fsHz float64) ([]complex128, error) {
+	if factor < 1 {
+		panic("dsp: Decimate factor must be >= 1")
+	}
+	if factor == 1 {
+		out := make([]complex128, len(x))
+		copy(out, x)
+		return out, nil
+	}
+	cut := fsHz / float64(2*factor) * 0.9
+	lp, err := LowpassFIR(63, cut, fsHz, Hamming)
+	if err != nil {
+		return nil, err
+	}
+	y := lp.Process(x)
+	out := make([]complex128, 0, len(x)/factor+1)
+	for i := 0; i < len(y); i += factor {
+		out = append(out, y[i])
+	}
+	return out, nil
+}
+
+// Upsample inserts factor-1 zeros between samples and lowpass-interpolates,
+// scaling so signal amplitude is preserved.
+func Upsample(x []complex128, factor int, fsHz float64) ([]complex128, error) {
+	if factor < 1 {
+		panic("dsp: Upsample factor must be >= 1")
+	}
+	if factor == 1 {
+		out := make([]complex128, len(x))
+		copy(out, x)
+		return out, nil
+	}
+	up := make([]complex128, len(x)*factor)
+	for i, v := range x {
+		up[i*factor] = v
+	}
+	outFs := fsHz * float64(factor)
+	cut := fsHz / 2 * 0.9
+	lp, err := LowpassFIR(63, cut, outFs, Hamming)
+	if err != nil {
+		return nil, err
+	}
+	y := lp.Process(up)
+	Scale(y, float64(factor))
+	return y, nil
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vab/internal/core"
+	"vab/internal/ocean"
+	"vab/internal/sim"
+)
+
+// X5Environment sweeps the deployment conditions a coastal operator cannot
+// choose — water temperature (seasons) and wind speed (weather) — and
+// reports the achievable range at the paper's BER 10⁻³ point. Temperature
+// moves absorption; wind moves the ambient noise floor; both act through
+// the same physical models that produce every other figure.
+func X5Environment(opts Options) (*Result, error) {
+	t := sim.NewTable("X5 (extension): Range sensitivity to deployment conditions (coastal ocean, BER 1e-3)",
+		"condition", "value", "noise_bin_db", "absorption_db_km", "max_range_m")
+	res := &Result{ID: "X5", Title: "Environmental sensitivity", Kind: "table", Table: t,
+		Metrics: map[string]float64{}}
+
+	eval := func(label string, mutate func(*ocean.Environment)) float64 {
+		env := ocean.AtlanticCoastal()
+		mutate(env)
+		if err := env.Validate(); err != nil {
+			panic(fmt.Sprintf("experiments: X5 preset: %v", err))
+		}
+		b := core.NewLinkBudget(env, newVanAtta(env, core.DefaultNodeElements))
+		b.ReaderDepth, b.NodeDepth = 3, 4
+		r := b.MaxRange(targetBER, 10000)
+		t.AddRowf(label, "",
+			env.NoiseLevel(core.DefaultCarrierHz, 500),
+			env.AbsorptionMid(core.DefaultCarrierHz), r)
+		return r
+	}
+
+	// Seasonal temperature sweep at the reference wind.
+	for _, temp := range []float64{4, 12, 20, 28} {
+		r := eval(fmt.Sprintf("temperature %2.0f C", temp), func(e *ocean.Environment) {
+			e.Temperature = temp
+		})
+		res.Metrics[fmt.Sprintf("range_at_%.0fC", temp)] = r
+	}
+	// Weather sweep at the reference temperature.
+	for _, wind := range []float64{1, 4, 7, 12, 18} {
+		r := eval(fmt.Sprintf("wind %2.0f m/s", wind), func(e *ocean.Environment) {
+			e.WindSpeed = wind
+		})
+		res.Metrics[fmt.Sprintf("range_at_%.0fmps", wind)] = r
+	}
+	res.Notes = append(res.Notes,
+		"wind is the dominant environmental lever: the Wenz noise floor rises ~7.5·√w dB, directly shrinking the detection margin",
+		"temperature cuts the other way than intuition suggests: 18.5 kHz sits below the MgSO4 relaxation, whose frequency rises with temperature, so warm water absorbs slightly *less* and summer range is marginally longer")
+	return res, nil
+}

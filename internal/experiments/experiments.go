@@ -1,0 +1,403 @@
+// Package experiments reproduces the paper's evaluation artifacts: each
+// function regenerates one figure or table (the rows/series the paper
+// reports), returning both the rendered table and the headline metrics the
+// abstract quotes. The experiment IDs follow DESIGN.md's per-experiment
+// index; EXPERIMENTS.md records the paper-claimed versus measured values.
+//
+// Since only the paper's abstract was available verbatim (see DESIGN.md),
+// the artifact set is reconstructed (marked R): the quantitative anchors
+// are the abstract's claims — >300 m round-trip range at BER 10⁻³ across
+// orientations in river trials, 15× the range of the prior state of the
+// art at equal throughput and power, and the first ocean validation.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vab/internal/baseline"
+	"vab/internal/core"
+	"vab/internal/ocean"
+	"vab/internal/sim"
+)
+
+// Result is one regenerated artifact.
+type Result struct {
+	ID      string
+	Title   string
+	Kind    string // "figure" or "table"
+	Table   *sim.Table
+	Notes   []string
+	Metrics map[string]float64
+}
+
+// Options tunes experiment runtime cost. The zero value selects the full
+// paper-scale configuration; benchmarks shrink the trial counts.
+type Options struct {
+	Trials int   // Monte-Carlo frames per cell (0 → default per experiment)
+	Seed   int64 // base RNG seed
+}
+
+func (o Options) trials(def int) int {
+	if o.Trials > 0 {
+		return o.Trials
+	}
+	return def
+}
+
+// targetBER is the paper's operating point.
+const targetBER = 1e-3
+
+// chipsPerFrame matches the default uplink frame (8-byte sensor payload
+// through the FM0+Hamming codec).
+const chipsPerFrame = 392
+
+// newVanAtta builds the headline 16-element design for an environment,
+// panicking only on programming errors (element count and carrier are
+// compile-time constants here).
+func newVanAtta(env *ocean.Environment, n int) core.Design {
+	d, err := core.NewVanAttaDesign(n, env, core.DefaultCarrierHz)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: van atta design: %v", err))
+	}
+	return d
+}
+
+func newSpecular(env *ocean.Environment, n int) core.Design {
+	d, err := core.NewSpecularDesign(n, env, core.DefaultCarrierHz)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: specular design: %v", err))
+	}
+	return d
+}
+
+// pabBudget returns the prior-art budget in an environment: single element,
+// carrier-band signaling penalty.
+func pabBudget(env *ocean.Environment) *core.LinkBudget {
+	b := core.NewLinkBudget(env, baseline.New())
+	b.SIPenaltyDB = core.CarrierBandSIPenaltyDB
+	return b
+}
+
+// Registry lists every experiment by ID.
+type runner func(Options) (*Result, error)
+
+var registry = map[string]runner{
+	"E1":  E1RangeRiver,
+	"E2":  E2SNRComparison,
+	"E3":  E3HeadToHead,
+	"E4":  E4Orientation,
+	"E5":  E5ElementScaling,
+	"E6":  E6Ocean,
+	"E7":  E7Throughput,
+	"E8":  E8PowerBudget,
+	"E9":  E9Matching,
+	"E10": E10Campaign,
+	"X1":  X1Ranging,
+	"X2":  X2MaryThroughput,
+	"X3":  X3WaveformValidation,
+	"X4":  X4Sensitivity,
+	"X5":  X5Environment,
+}
+
+// IDs returns the registered experiment IDs in order: the paper's E-series
+// numerically, then the X-series extensions.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	rank := func(id string) (byte, int) {
+		var n int
+		fmt.Sscanf(id[1:], "%d", &n)
+		return id[0], n
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		pi, ni := rank(ids[i])
+		pj, nj := rank(ids[j])
+		if pi != pj {
+			return pi < pj
+		}
+		return ni < nj
+	})
+	return ids
+}
+
+// Run executes one experiment by ID.
+func Run(id string, opts Options) (*Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(opts)
+}
+
+// RunAll executes every experiment in ID order.
+func RunAll(opts Options) ([]*Result, error) {
+	var out []*Result
+	for _, id := range IDs() {
+		res, err := Run(id, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// E1RangeRiver regenerates the headline river figure (R): BER versus range
+// for the 16-element VAB node at several orientations, Monte-Carlo over the
+// fading distribution. The paper's claim: BER ≤ 10⁻³ beyond 300 m round
+// trip, across orientations.
+func E1RangeRiver(opts Options) (*Result, error) {
+	env := ocean.CharlesRiver()
+	b := core.NewLinkBudget(env, newVanAtta(env, core.DefaultNodeElements))
+	ranges := []float64{25, 50, 100, 150, 200, 250, 300, 350, 400}
+	orientations := []float64{0, 30, 60}
+	trials := opts.trials(1000)
+
+	t := sim.NewTable("E1 (R): River BER vs range, VAB-16 — paper: BER ≤ 1e-3 at 300 m across orientations",
+		"range_m", "orient_deg", "tone_snr_db", "ber_mc", "ber_model", "frame_loss")
+	res := &Result{ID: "E1", Title: "River BER vs range", Kind: "figure", Table: t,
+		Metrics: map[string]float64{}}
+
+	worst300 := 0.0
+	for _, deg := range orientations {
+		bb := *b
+		bb.Orientation = deg * math.Pi / 180
+		cells, err := sim.RangeSweep(&bb, ranges, trials, chipsPerFrame, opts.Seed+int64(deg))
+		if err != nil {
+			return nil, err
+		}
+		for i, c := range cells {
+			t.AddRowf(c.RangeM, deg, c.MeanSNRdB, c.BER, bb.BER(ranges[i]), c.FrameLoss)
+			if c.RangeM == 300 && c.BER > worst300 {
+				worst300 = c.BER
+			}
+		}
+	}
+	res.Metrics["worst_ber_at_300m"] = worst300
+	res.Metrics["range_at_target"] = b.MaxRange(targetBER, 5000)
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("model max range at BER 1e-3: %.0f m (paper: >300 m)", res.Metrics["range_at_target"]))
+	return res, nil
+}
+
+// E2SNRComparison regenerates the SNR-vs-range comparison figure (R):
+// analytic tone SNR for VAB-16, the same-aperture specular array, and the
+// single-element prior art. Shows the ~N² retrodirective gain directly.
+func E2SNRComparison(opts Options) (*Result, error) {
+	env := ocean.CharlesRiver()
+	va := core.NewLinkBudget(env, newVanAtta(env, core.DefaultNodeElements))
+	sp := core.NewLinkBudget(env, newSpecular(env, core.DefaultNodeElements))
+	// Off-broadside at a sidelobe peak (sin 20° ≈ 5.5/16): exact nulls
+	// (sinθ = m/16) would render as -∞ dB and overstate the contrast.
+	sp.Orientation = 20 * math.Pi / 180
+	pab := pabBudget(env)
+
+	t := sim.NewTable("E2 (R): Tone SNR vs range (river) — VAB vs specular(20°) vs single-element",
+		"range_m", "vab_snr_db", "specular_snr_db", "pab_snr_db")
+	res := &Result{ID: "E2", Title: "SNR vs range comparison", Kind: "figure", Table: t,
+		Metrics: map[string]float64{}}
+	for _, r := range []float64{10, 20, 50, 100, 200, 300, 400} {
+		t.AddRowf(r, va.ToneSNRdB(r), sp.ToneSNRdB(r), pab.ToneSNRdB(r))
+	}
+	res.Metrics["vab_minus_pab_db"] = va.ToneSNRdB(100) - pab.ToneSNRdB(100)
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("VAB leads the single-element baseline by %.1f dB at every range", res.Metrics["vab_minus_pab_db"]))
+	return res, nil
+}
+
+// E3HeadToHead regenerates the head-to-head comparison table (R): maximum
+// range at BER 10⁻³ and equal throughput/power for VAB versus the prior
+// state of the art, with the gain decomposition. The paper's claim: 15×.
+func E3HeadToHead(opts Options) (*Result, error) {
+	env := ocean.CharlesRiver()
+	va := core.NewLinkBudget(env, newVanAtta(env, core.DefaultNodeElements))
+	pab := pabBudget(env)
+
+	vaR := va.MaxRange(targetBER, 5000)
+	pabR := pab.MaxRange(targetBER, 5000)
+	ratio := vaR / pabR
+
+	arrayGain := core.EffectiveGainDB(va.Design, core.DefaultCarrierHz, 0) -
+		core.EffectiveGainDB(pab.Design, core.DefaultCarrierHz, 0)
+	depthPenalty := baseline.New().DepthPenaltyDB(core.DefaultCarrierHz)
+
+	t := sim.NewTable("E3 (R): Head-to-head vs prior art at equal throughput & power — paper: 15× range",
+		"system", "elements", "mod_depth", "node_gain_db", "si_penalty_db", "max_range_m")
+	t.AddRowf("vab", va.Design.Elements(),
+		va.Design.ModulationDepth(core.DefaultCarrierHz),
+		core.EffectiveGainDB(va.Design, core.DefaultCarrierHz, 0),
+		va.SIPenaltyDB, vaR)
+	t.AddRowf("pab-prior-art", pab.Design.Elements(),
+		pab.Design.ModulationDepth(core.DefaultCarrierHz),
+		core.EffectiveGainDB(pab.Design, core.DefaultCarrierHz, 0),
+		pab.SIPenaltyDB, pabR)
+
+	res := &Result{ID: "E3", Title: "Head-to-head range comparison", Kind: "table", Table: t,
+		Metrics: map[string]float64{
+			"vab_range_m":       vaR,
+			"pab_range_m":       pabR,
+			"range_ratio":       ratio,
+			"node_gain_gap_db":  arrayGain,
+			"depth_penalty_db":  depthPenalty,
+			"si_penalty_db":     core.CarrierBandSIPenaltyDB,
+			"diversity_gain_db": core.DiversityGainDB,
+		}}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("measured ratio %.1f× (paper: 15×)", ratio),
+		fmt.Sprintf("decomposition: %.1f dB node gain gap (array %.1f dB + matched depth %.1f dB) + %.1f dB subcarrier-vs-carrier SI + %.1f dB diversity",
+			arrayGain, arrayGain-depthPenalty, depthPenalty, core.CarrierBandSIPenaltyDB, core.DiversityGainDB))
+	return res, nil
+}
+
+// E4Orientation regenerates the orientation figure (R): monostatic response
+// and achievable range versus rotation for the Van Atta array and the
+// specular baseline — the physics behind "across orientations".
+func E4Orientation(opts Options) (*Result, error) {
+	env := ocean.CharlesRiver()
+	vaDesign := newVanAtta(env, core.DefaultNodeElements)
+	spDesign := newSpecular(env, core.DefaultNodeElements)
+	va := core.NewLinkBudget(env, vaDesign)
+	sp := core.NewLinkBudget(env, spDesign)
+
+	t := sim.NewTable("E4 (R): Orientation response — retrodirective vs specular array",
+		"theta_deg", "vab_gain_db", "spec_gain_db", "vab_range_m", "spec_range_m")
+	res := &Result{ID: "E4", Title: "Orientation response", Kind: "figure", Table: t,
+		Metrics: map[string]float64{}}
+
+	minVA, maxVA := math.Inf(1), math.Inf(-1)
+	for deg := -75.0; deg <= 75; deg += 15 {
+		th := deg * math.Pi / 180
+		va.Orientation, sp.Orientation = th, th
+		gVA := core.EffectiveGainDB(vaDesign, core.DefaultCarrierHz, th)
+		gSP := core.EffectiveGainDB(spDesign, core.DefaultCarrierHz, th)
+		rVA := va.MaxRange(targetBER, 5000)
+		rSP := sp.MaxRange(targetBER, 5000)
+		t.AddRowf(deg, gVA, gSP, rVA, rSP)
+		if rVA < minVA {
+			minVA = rVA
+		}
+		if rVA > maxVA {
+			maxVA = rVA
+		}
+	}
+	res.Metrics["vab_min_range_m"] = minVA
+	res.Metrics["vab_range_spread"] = (maxVA - minVA) / maxVA
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("VAB worst-case range across ±75°: %.0f m (spread %.1f%%)", minVA, 100*res.Metrics["vab_range_spread"]))
+	return res, nil
+}
+
+// E5ElementScaling regenerates the scalability figure (R): conversion gain
+// and achievable range versus array size.
+func E5ElementScaling(opts Options) (*Result, error) {
+	env := ocean.CharlesRiver()
+	t := sim.NewTable("E5 (R): Scaling with array size (river, BER 1e-3)",
+		"elements", "node_gain_db", "max_range_m", "range_vs_single")
+	res := &Result{ID: "E5", Title: "Element scaling", Kind: "figure", Table: t,
+		Metrics: map[string]float64{}}
+
+	var single float64
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		b := core.NewLinkBudget(env, newVanAtta(env, n))
+		g := core.EffectiveGainDB(b.Design, core.DefaultCarrierHz, 0.3)
+		r := b.MaxRange(targetBER, 10000)
+		if n == 1 {
+			single = r
+		}
+		t.AddRowf(n, g, r, r/single)
+		res.Metrics[fmt.Sprintf("range_n%d", n)] = r
+	}
+	res.Metrics["range_gain_16_vs_1"] = res.Metrics["range_n16"] / res.Metrics["range_n1"]
+	return res, nil
+}
+
+// E6Ocean regenerates the ocean-validation figure (R): BER versus range in
+// the Atlantic coastal preset alongside the river curve. The paper's claim:
+// first experimental validation of underwater backscatter in the ocean.
+func E6Ocean(opts Options) (*Result, error) {
+	river := ocean.CharlesRiver()
+	sea := ocean.AtlanticCoastal()
+	bRiver := core.NewLinkBudget(river, newVanAtta(river, core.DefaultNodeElements))
+	bSea := core.NewLinkBudget(sea, newVanAtta(sea, core.DefaultNodeElements))
+	// Near-surface mooring as in the coastal deployment.
+	bSea.ReaderDepth, bSea.NodeDepth = 3, 4
+	trials := opts.trials(1000)
+
+	ranges := []float64{25, 50, 75, 100, 150, 200, 250, 300}
+	riverCells, err := sim.RangeSweep(bRiver, ranges, trials, chipsPerFrame, opts.Seed+100)
+	if err != nil {
+		return nil, err
+	}
+	seaCells, err := sim.RangeSweep(bSea, ranges, trials, chipsPerFrame, opts.Seed+200)
+	if err != nil {
+		return nil, err
+	}
+
+	t := sim.NewTable("E6 (R): Ocean validation — BER vs range, river vs coastal ocean",
+		"range_m", "river_ber", "ocean_ber", "river_snr_db", "ocean_snr_db")
+	for i := range ranges {
+		t.AddRowf(ranges[i], riverCells[i].BER, seaCells[i].BER,
+			riverCells[i].MeanSNRdB, seaCells[i].MeanSNRdB)
+	}
+	res := &Result{ID: "E6", Title: "Ocean validation", Kind: "figure", Table: t,
+		Metrics: map[string]float64{
+			"ocean_range_at_target": bSea.MaxRange(targetBER, 5000),
+			"river_range_at_target": bRiver.MaxRange(targetBER, 5000),
+		}}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("ocean max range %.0f m vs river %.0f m: ocean noise and absorption cost range but the system operates (the paper's first-ocean-validation claim)",
+			res.Metrics["ocean_range_at_target"], res.Metrics["river_range_at_target"]))
+	return res, nil
+}
+
+// E7Throughput regenerates the throughput-vs-range figure (R): achievable
+// range at BER 10⁻³ for different chip rates, plus the effective goodput
+// after line coding and FEC. Lower rates narrow the detection bandwidth,
+// buying range — the axis along which "same throughput" comparisons are
+// made.
+func E7Throughput(opts Options) (*Result, error) {
+	env := ocean.CharlesRiver()
+	d := newVanAtta(env, core.DefaultNodeElements)
+	t := sim.NewTable("E7 (R): Throughput vs range (river, BER 1e-3)",
+		"chip_rate_cps", "goodput_bps", "noise_bw_db", "max_range_m")
+	res := &Result{ID: "E7", Title: "Throughput vs range", Kind: "figure", Table: t,
+		Metrics: map[string]float64{}}
+
+	for _, rate := range []float64{125, 250, 500, 1000, 2000} {
+		b := core.NewLinkBudget(env, d)
+		b.ChipRate = rate
+		r := b.MaxRange(targetBER, 20000)
+		// FM0 halves the chip rate into bits; Hamming(7,4) leaves 4/7.
+		goodput := rate / 2 * 4 / 7
+		t.AddRowf(rate, goodput, 10*math.Log10(rate), r)
+		res.Metrics[fmt.Sprintf("range_at_%.0fcps", rate)] = r
+	}
+	res.Notes = append(res.Notes,
+		"halving the chip rate buys ~1 dB of detection SNR (3 dB noise bandwidth − 2·TL slope), extending range")
+	return res, nil
+}
+
+// E8PowerBudget regenerates the node power table (R): component draws,
+// per-response energy, harvestable power versus range, and the harvesting
+// break-even.
+func E8PowerBudget(opts Options) (*Result, error) {
+	return e8PowerBudget(opts)
+}
+
+// E9Matching regenerates the electro-mechanical co-design figure (R):
+// reflection-coefficient contrast versus frequency with and without the
+// matching network, and the match bandwidth.
+func E9Matching(opts Options) (*Result, error) {
+	return e9Matching(opts)
+}
+
+// E10Campaign regenerates the trial-campaign summary (R): the >1,500
+// experimental trials across environments, ranges and orientations that
+// the abstract reports, aggregated per cell.
+func E10Campaign(opts Options) (*Result, error) {
+	return e10Campaign(opts)
+}

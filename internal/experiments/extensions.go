@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vab/internal/core"
+	"vab/internal/ocean"
+	"vab/internal/phy"
+	"vab/internal/sim"
+)
+
+// Extension experiments (X-series): capabilities beyond the paper's
+// evaluation that its architecture enables, implemented on the same stack.
+
+// X1Ranging measures time-of-flight ranging accuracy across deployment
+// ranges at waveform level: the reader timestamps the acquired backscatter
+// burst against its own query and converts the round trip to distance. A
+// retrodirective node is an ideal ranging target — it answers from any
+// orientation with zero steering delay.
+func X1Ranging(opts Options) (*Result, error) {
+	env := ocean.CharlesRiver()
+	d, err := core.NewVanAttaDesign(core.DefaultNodeElements, env, core.DefaultCarrierHz)
+	if err != nil {
+		return nil, err
+	}
+	rounds := opts.trials(12)
+	if rounds > 40 {
+		rounds = 40 // waveform rounds are ~ms each; cap the sweep
+	}
+
+	t := sim.NewTable("X1 (extension): Time-of-flight ranging accuracy (river, waveform level)",
+		"range_m", "rounds_ok", "mean_err_m", "max_err_m")
+	res := &Result{ID: "X1", Title: "Backscatter ranging", Kind: "table", Table: t,
+		Metrics: map[string]float64{}}
+
+	var worst float64
+	for _, rng := range []float64{30, 60, 120, 200} {
+		s, err := core.NewSystem(core.SystemConfig{
+			Env: env, Design: d, Range: rng, NodeAddr: 9, Seed: opts.Seed + int64(rng),
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.WakeNode(3600)
+		ok := 0
+		var errSum, errMax float64
+		for i := 0; i < rounds; i++ {
+			s.WakeNode(30)
+			rep, err := s.RunRangingRound()
+			if err != nil || !rep.Rx.OK() {
+				continue
+			}
+			ok++
+			e := math.Abs(rep.EstimatedRange - rep.TrueRange)
+			errSum += e
+			if e > errMax {
+				errMax = e
+			}
+		}
+		mean := 0.0
+		if ok > 0 {
+			mean = errSum / float64(ok)
+		}
+		t.AddRowf(rng, ok, mean, errMax)
+		if errMax > worst {
+			worst = errMax
+		}
+	}
+	res.Metrics["worst_error_m"] = worst
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("worst-case ranging error %.2f m across 30-200 m (one-sample resolution ≈ 0.05 m; residual error is multipath acquisition bias plus mooring sway)", worst))
+	return res, nil
+}
+
+// X2MaryThroughput compares binary and 4-ary backscatter FSK at equal chip
+// (switching) rate: M-ary doubles the bit rate at the same node switching
+// energy, at the cost of detection SNR and subcarrier bandwidth. Range at
+// the target BER is evaluated with the same fading Monte-Carlo as the
+// paper-scale sweeps.
+func X2MaryThroughput(opts Options) (*Result, error) {
+	env := ocean.CharlesRiver()
+	d, err := core.NewVanAttaDesign(core.DefaultNodeElements, env, core.DefaultCarrierHz)
+	if err != nil {
+		return nil, err
+	}
+	b := core.NewLinkBudget(env, d)
+
+	// Monte-Carlo BER at range r for M-ary noncoherent FSK over the
+	// diversity-combined Rician fading. The RNG is re-seeded per call
+	// (common random numbers): every modulation order sees the *same* fade
+	// draws, so the comparison reflects M, not sampling luck.
+	berAt := func(r float64, m int) float64 {
+		rng := rand.New(rand.NewSource(opts.Seed + 1))
+		esn0 := math.Pow(10, b.ToneSNRdB(r)/10)
+		k := b.EffectiveRicianK(r)
+		const draws = 20000
+		var acc float64
+		for i := 0; i < draws; i++ {
+			acc += phy.BERNoncoherentMFSK(esn0*sim.RicianPowerGain(k, rng), m)
+		}
+		return acc / draws
+	}
+	maxRange := func(m int) float64 {
+		lo, hi := 1.0, 5000.0
+		for i := 0; i < 40; i++ {
+			mid := (lo + hi) / 2
+			if berAt(mid, m) <= targetBER {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+
+	t := sim.NewTable("X2 (extension): Binary vs M-ary backscatter FSK at equal switching rate",
+		"modulation", "raw_bps", "tones_hz", "max_range_m")
+	r2 := maxRange(2)
+	r4 := maxRange(4)
+	r8 := maxRange(8)
+	t.AddRowf("2-FSK", 500, "500/1000", r2)
+	t.AddRowf("4-FSK", 1000, "500..2000", r4)
+	t.AddRowf("8-FSK", 1500, "500..4000", r8)
+
+	res := &Result{ID: "X2", Title: "M-ary backscatter FSK", Kind: "table", Table: t,
+		Metrics: map[string]float64{
+			"range_2fsk_m": r2,
+			"range_4fsk_m": r4,
+			"range_8fsk_m": r8,
+		}}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("at equal switching rate, 4-FSK doubles throughput keeping %.0f%% of the binary range and 8-FSK triples it keeping %.0f%%: orthogonal FSK's per-bit efficiency nearly offsets the per-symbol threshold", 100*r4/r2, 100*r8/r2),
+		"the detection-threshold penalty is mild — the real constraint is bandwidth: the 4 kHz top tone of 8-FSK sits far outside the transducer's ~660 Hz resonance (the E9 roll-off), which the budget tier here does not yet charge for")
+	return res, nil
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"vab/internal/piezo"
+	"vab/internal/sim"
+)
+
+// e9Matching builds the electro-mechanical co-design figure: modulation
+// contrast versus frequency for the matched VAB switch states against the
+// unmatched prior-art states, plus the L-section match bandwidth. This is
+// the experiment that shows why the paper co-designs matching networks with
+// the array: the piezo's resonance confines useful modulation to a narrow
+// band, and an unmatched switch wastes a large fraction of the contrast
+// even at resonance.
+func e9Matching(opts Options) (*Result, error) {
+	tr := piezo.MustDefault()
+	fs := tr.SeriesResonance()
+
+	t := sim.NewTable("E9 (R): Modulation contrast vs frequency — matched vs unmatched switching",
+		"freq_hz", "depth_matched", "depth_unmatched", "chain_matched_db", "chain_unmatched_db", "match_refl")
+	res := &Result{ID: "E9", Title: "Matching and modulation depth", Kind: "figure", Table: t,
+		Metrics: map[string]float64{}}
+
+	m, err := piezo.DesignLSection(tr.Impedance(fs), 50, fs)
+	if err != nil {
+		return nil, fmt.Errorf("matching design: %w", err)
+	}
+
+	unOn, unOff := piezo.ShortLoad, complex(30, 0) // prior-art switch states
+	for _, rel := range []float64{0.90, 0.94, 0.97, 1.00, 1.03, 1.06, 1.10} {
+		f := fs * rel
+		matched := tr.ModulationDepth(f, piezo.ShortLoad, tr.MatchedLoad(f))
+		unmatched := tr.ModulationDepth(f, unOn, unOff)
+		resp := cmplx.Abs(tr.Response(f))
+		chainM := 20 * math.Log10(matched*resp*resp*2/math.Pi)
+		chainU := 20 * math.Log10(unmatched*resp*resp*2/math.Pi)
+		t.AddRowf(f, matched, unmatched, chainM, chainU, m.MatchQuality(f, tr.Impedance(f)))
+	}
+
+	depthGain := 20 * math.Log10(
+		tr.ModulationDepth(fs, piezo.ShortLoad, tr.MatchedLoad(fs))/
+			tr.ModulationDepth(fs, unOn, unOff))
+	res.Metrics["matched_depth_gain_db"] = depthGain
+
+	// -10 dB match bandwidth of the L-section.
+	var lo, hi float64
+	for f := fs; f > fs*0.5; f -= fs / 400 {
+		if m.MatchQuality(f, tr.Impedance(f)) > 0.316 {
+			lo = f
+			break
+		}
+	}
+	for f := fs; f < fs*1.5; f += fs / 400 {
+		if m.MatchQuality(f, tr.Impedance(f)) > 0.316 {
+			hi = f
+			break
+		}
+	}
+	if hi > lo && lo > 0 {
+		res.Metrics["match_bw_hz"] = hi - lo
+		res.Notes = append(res.Notes,
+			fmt.Sprintf("-10 dB match bandwidth: %.0f Hz", hi-lo))
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("matched switching recovers %.1f dB of modulation contrast at resonance", depthGain),
+		"the backscatter chain (depth × transducer response²) collapses a few percent off resonance: subcarriers must fit inside the piezo bandwidth")
+	return res, nil
+}

@@ -1,0 +1,59 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client subscribes to a gateway's reading stream.
+type Client struct {
+	conn net.Conn
+}
+
+// Dial connects to a gateway and verifies the protocol handshake.
+func Dial(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn}
+	// Expect the hello frame promptly.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	t, payload, err := ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("gateway: handshake: %w", err)
+	}
+	if t != MsgHello || len(payload) != 1 || payload[0] != 1 {
+		conn.Close()
+		return nil, fmt.Errorf("gateway: unexpected handshake frame type %d", t)
+	}
+	conn.SetReadDeadline(time.Time{})
+	return c, nil
+}
+
+// Next blocks until the next reading arrives, transparently skipping
+// heartbeats. The deadline (zero = none) bounds the wait.
+func (c *Client) Next(deadline time.Time) (Reading, error) {
+	c.conn.SetReadDeadline(deadline)
+	for {
+		t, payload, err := ReadFrame(c.conn)
+		if err != nil {
+			return Reading{}, err
+		}
+		switch t {
+		case MsgHeartbeat:
+			continue
+		case MsgReading:
+			return DecodeReading(payload)
+		default:
+			return Reading{}, fmt.Errorf("gateway: unexpected frame type %d", t)
+		}
+	}
+}
+
+// Close terminates the subscription.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,37 @@
+package gateway
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame feeds arbitrary bytes to the wire-frame reader: it must
+// reject garbage without panicking, and round-trip anything it accepts.
+func FuzzReadFrame(f *testing.F) {
+	good, _ := EncodeFrame(MsgReading, EncodeReading(testReading()))
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x56}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		re, err := EncodeFrame(typ, payload)
+		if err != nil {
+			t.Fatalf("accepted frame failed to encode: %v", err)
+		}
+		if !bytes.Equal(re, data[:len(re)]) {
+			t.Fatalf("frame prefix mismatch")
+		}
+	})
+}
+
+// FuzzDecodeReading must never panic on arbitrary payloads.
+func FuzzDecodeReading(f *testing.F) {
+	f.Add(EncodeReading(testReading()))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		_, _ = DecodeReading(p)
+	})
+}

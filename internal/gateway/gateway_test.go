@@ -1,0 +1,356 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testReading() Reading {
+	return Reading{
+		NodeAddr: 7, Seq: 3, Count: 99,
+		TempC: 15.25, PressureMbar: 1294.5, SNRdB: 18.75,
+		Time: time.Unix(0, 1700000000123456789).UTC(),
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte{1, 2, 3}
+	frame, err := EncodeFrame(MsgReading, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadFrame(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgReading || !bytes.Equal(got, payload) {
+		t.Errorf("round trip: %v %v", typ, got)
+	}
+}
+
+func TestFrameErrors(t *testing.T) {
+	if _, err := EncodeFrame(MsgReading, make([]byte, MaxFrameSize)); !errors.Is(err, ErrOversize) {
+		t.Error("oversize not rejected")
+	}
+	bad := []byte{0, 0, 0, 0, 1, 0, 0, 0, 0}
+	if _, _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+	// Oversize length field.
+	frame, _ := EncodeFrame(MsgReading, []byte{1})
+	frame[5] = 0xFF
+	if _, _, err := ReadFrame(bytes.NewReader(frame)); !errors.Is(err, ErrOversize) {
+		t.Error("oversize length accepted")
+	}
+	// Truncated payload.
+	frame2, _ := EncodeFrame(MsgReading, []byte{1, 2, 3, 4})
+	if _, _, err := ReadFrame(bytes.NewReader(frame2[:len(frame2)-2])); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncation: %v", err)
+	}
+}
+
+func TestReadingRoundTrip(t *testing.T) {
+	rd := testReading()
+	got, err := DecodeReading(EncodeReading(rd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != rd {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, rd)
+	}
+	if _, err := DecodeReading([]byte{1, 2}); err == nil {
+		t.Error("short payload accepted")
+	}
+}
+
+func TestReadingRoundTripProperty(t *testing.T) {
+	f := func(addr, seq byte, count uint32, temp, press, snr float64, ns int64) bool {
+		rd := Reading{
+			NodeAddr: addr, Seq: seq, Count: count,
+			TempC: temp, PressureMbar: press, SNRdB: snr,
+			Time: time.Unix(0, ns).UTC(),
+		}
+		got, err := DecodeReading(EncodeReading(rd))
+		return err == nil && got == rd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func startServer(t *testing.T) (*Server, context.CancelFunc) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := NewServer(ctx, "127.0.0.1:0", t.Logf)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close(); cancel() })
+	return s, cancel
+}
+
+func TestServerPublishToClient(t *testing.T) {
+	s, _ := startServer(t)
+	c, err := Dial(context.Background(), s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	waitSubscribers(t, s, 1)
+	want := testReading()
+	s.Publish(want)
+	got, err := c.Next(time.Now().Add(5 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("got %+v want %+v", got, want)
+	}
+}
+
+func waitSubscribers(t *testing.T, s *Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Subscribers() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d subscribers", s.Subscribers())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestServerMultipleSubscribers(t *testing.T) {
+	s, _ := startServer(t)
+	var clients []*Client
+	for i := 0; i < 3; i++ {
+		c, err := Dial(context.Background(), s.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients = append(clients, c)
+	}
+	waitSubscribers(t, s, 3)
+	s.Publish(testReading())
+	for i, c := range clients {
+		if _, err := c.Next(time.Now().Add(5 * time.Second)); err != nil {
+			t.Errorf("client %d: %v", i, err)
+		}
+	}
+}
+
+func TestServerHeartbeats(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s, err := NewServer(ctx, "127.0.0.1:0", t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetHeartbeat(20 * time.Millisecond) // before any client connects
+
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Hello, then heartbeats with no published readings.
+	typ, _, err := ReadFrame(conn)
+	if err != nil || typ != MsgHello {
+		t.Fatalf("hello: %v %v", typ, err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	typ, _, err = ReadFrame(conn)
+	if err != nil || typ != MsgHeartbeat {
+		t.Fatalf("heartbeat: %v %v", typ, err)
+	}
+}
+
+func TestServerDropsSlowSubscriber(t *testing.T) {
+	s, _ := startServer(t)
+	// Raw connection that never reads beyond the handshake.
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	waitSubscribers(t, s, 1)
+	// Saturate: the per-subscriber queue holds sendBuffer frames; the
+	// socket buffers absorb more, but the queue eventually jams because
+	// nothing drains the connection... the serve loop keeps writing into
+	// the kernel buffer, so flood well past both.
+	for i := 0; i < 100000 && s.Subscribers() > 0; i++ {
+		s.Publish(testReading())
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow subscriber never dropped")
+		}
+		s.Publish(testReading())
+	}
+}
+
+func TestServerCloseIdempotentAndCleans(t *testing.T) {
+	ctx := context.Background()
+	s, err := NewServer(ctx, "127.0.0.1:0", t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(ctx, s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitSubscribers(t, s, 1)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	if s.Subscribers() != 0 {
+		t.Error("subscribers survived close")
+	}
+	// The client should observe EOF or reset.
+	if _, err := c.Next(time.Now().Add(5 * time.Second)); err == nil {
+		t.Error("client read succeeded after server close")
+	}
+	// Publishing after close must not panic.
+	s.Publish(testReading())
+}
+
+func TestServerContextCancelStopsAccept(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := NewServer(ctx, "127.0.0.1:0", t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	addr := s.Addr().String()
+	cancel()
+	// After cancellation new dials must fail (listener closed).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err != nil {
+			break
+		}
+		conn.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting after cancel")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestDialRejectsNonGateway(t *testing.T) {
+	// A server that speaks garbage.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		conn.Write([]byte("HTTP/1.1 200 OK\r\n\r\n"))
+		conn.Close()
+	}()
+	if _, err := Dial(context.Background(), ln.Addr().String()); err == nil {
+		t.Error("garbage handshake accepted")
+	}
+}
+
+func TestSubscribeSurvivesServerRestart(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	s1, err := NewServer(ctx, "127.0.0.1:0", t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s1.Addr().String()
+
+	out := make(chan Reading, 16)
+	subCtx, subCancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Subscribe(subCtx, addr, out)
+	}()
+
+	waitSubscribers(t, s1, 1)
+	s1.Publish(testReading())
+	select {
+	case rd := <-out:
+		if rd.NodeAddr != 7 {
+			t.Errorf("reading %+v", rd)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no reading before restart")
+	}
+
+	// Kill the gateway, then bring a new one up on the same port.
+	s1.Close()
+	var s2 *Server
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s2, err = NewServer(ctx, addr, t.Logf)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("could not rebind %s: %v", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	defer s2.Close()
+
+	// The subscriber reconnects on its own and keeps delivering.
+	waitSubscribers(t, s2, 1)
+	s2.Publish(testReading())
+	select {
+	case <-out:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no reading after restart; reconnect failed")
+	}
+
+	subCancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Subscribe did not exit on cancel")
+	}
+	// Channel must be closed after exit.
+	for range out {
+	}
+}
+
+func TestSubscribeGivesUpOnCancel(t *testing.T) {
+	// No server at all: Subscribe should back off and exit promptly on
+	// cancellation.
+	ctx, cancel := context.WithCancel(context.Background())
+	out := make(chan Reading)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Subscribe(ctx, "127.0.0.1:1", out) // nothing listens on port 1
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Subscribe did not exit")
+	}
+}

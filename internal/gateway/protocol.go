@@ -1,0 +1,118 @@
+// Package gateway exposes a VAB deployment to shore-side consumers: the
+// reader publishes decoded sensor readings, and the gateway streams them to
+// TCP subscribers using a small length-prefixed binary protocol. This is
+// the application layer of the coastal-monitoring scenario the paper
+// motivates: battery-free sensors under water, a reader buoy on top, and a
+// TCP feed to whoever watches the coast.
+package gateway
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Protocol constants.
+const (
+	// Magic starts every frame, guarding against port scanners and
+	// protocol mismatches.
+	Magic = uint32(0x56414231) // "VAB1"
+	// MaxFrameSize bounds a frame on the wire.
+	MaxFrameSize = 512
+)
+
+// MsgType discriminates wire messages.
+type MsgType byte
+
+// Message types.
+const (
+	MsgReading   MsgType = 0x01 // sensor reading, gateway → client
+	MsgHeartbeat MsgType = 0x02 // liveness, gateway → client
+	MsgHello     MsgType = 0x03 // version/handshake, gateway → client
+)
+
+// Reading is one decoded sensor sample with link metadata.
+type Reading struct {
+	NodeAddr     byte
+	Seq          byte
+	Count        uint32
+	TempC        float64
+	PressureMbar float64
+	SNRdB        float64
+	Time         time.Time
+}
+
+// readingWireSize is the fixed encoding size of a Reading payload.
+const readingWireSize = 1 + 1 + 4 + 8 + 8 + 8 + 8
+
+// Errors.
+var (
+	ErrBadMagic  = errors.New("gateway: bad frame magic")
+	ErrOversize  = errors.New("gateway: frame exceeds MaxFrameSize")
+	ErrTruncated = errors.New("gateway: truncated payload")
+)
+
+// EncodeFrame renders a wire frame: magic, type, length, payload.
+func EncodeFrame(t MsgType, payload []byte) ([]byte, error) {
+	if len(payload) > MaxFrameSize-9 {
+		return nil, ErrOversize
+	}
+	out := make([]byte, 0, 9+len(payload))
+	out = binary.BigEndian.AppendUint32(out, Magic)
+	out = append(out, byte(t))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(payload)))
+	return append(out, payload...), nil
+}
+
+// ReadFrame reads one frame from r, returning its type and payload.
+func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if binary.BigEndian.Uint32(hdr[0:4]) != Magic {
+		return 0, nil, ErrBadMagic
+	}
+	t := MsgType(hdr[4])
+	n := binary.BigEndian.Uint32(hdr[5:9])
+	if n > MaxFrameSize {
+		return 0, nil, ErrOversize
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return t, payload, nil
+}
+
+// EncodeReading serializes a reading payload.
+func EncodeReading(rd Reading) []byte {
+	out := make([]byte, 0, readingWireSize)
+	out = append(out, rd.NodeAddr, rd.Seq)
+	out = binary.BigEndian.AppendUint32(out, rd.Count)
+	out = binary.BigEndian.AppendUint64(out, math.Float64bits(rd.TempC))
+	out = binary.BigEndian.AppendUint64(out, math.Float64bits(rd.PressureMbar))
+	out = binary.BigEndian.AppendUint64(out, math.Float64bits(rd.SNRdB))
+	out = binary.BigEndian.AppendUint64(out, uint64(rd.Time.UnixNano()))
+	return out
+}
+
+// DecodeReading parses a reading payload.
+func DecodeReading(p []byte) (Reading, error) {
+	if len(p) != readingWireSize {
+		return Reading{}, fmt.Errorf("%w: reading payload %d bytes, want %d", ErrTruncated, len(p), readingWireSize)
+	}
+	rd := Reading{
+		NodeAddr: p[0],
+		Seq:      p[1],
+		Count:    binary.BigEndian.Uint32(p[2:6]),
+	}
+	rd.TempC = math.Float64frombits(binary.BigEndian.Uint64(p[6:14]))
+	rd.PressureMbar = math.Float64frombits(binary.BigEndian.Uint64(p[14:22]))
+	rd.SNRdB = math.Float64frombits(binary.BigEndian.Uint64(p[22:30]))
+	rd.Time = time.Unix(0, int64(binary.BigEndian.Uint64(p[30:38]))).UTC()
+	return rd, nil
+}

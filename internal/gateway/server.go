@@ -1,0 +1,199 @@
+package gateway
+
+import (
+	"context"
+	"log"
+	"net"
+	"sync"
+	"time"
+)
+
+// Server fans decoded readings out to TCP subscribers. Slow subscribers are
+// disconnected rather than allowed to exert backpressure on the reader (a
+// live telemetry feed must never stall the acoustic polling loop).
+type Server struct {
+	ln     net.Listener
+	logf   func(format string, args ...interface{})
+	mu     sync.Mutex
+	subs   map[*subscriber]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	heartbeat time.Duration
+}
+
+type subscriber struct {
+	conn net.Conn
+	ch   chan []byte // encoded frames
+}
+
+// sendBuffer is the per-subscriber queue; a full queue marks the
+// subscriber as too slow.
+const sendBuffer = 64
+
+// NewServer starts listening on addr (e.g. "127.0.0.1:0"). The returned
+// server accepts connections until Close or ctx cancellation.
+func NewServer(ctx context.Context, addr string, logf func(string, ...interface{})) (*Server, error) {
+	var lc net.ListenConfig
+	ln, err := lc.Listen(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if logf == nil {
+		logf = log.Printf
+	}
+	s := &Server{
+		ln:        ln,
+		logf:      logf,
+		subs:      make(map[*subscriber]struct{}),
+		heartbeat: 5 * time.Second,
+	}
+	s.wg.Add(1)
+	go s.acceptLoop(ctx)
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+func (s *Server) acceptLoop(ctx context.Context) {
+	defer s.wg.Done()
+	// Close the listener when the context ends so Accept unblocks.
+	stop := context.AfterFunc(ctx, func() { s.ln.Close() })
+	defer stop()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		sub := &subscriber{conn: conn, ch: make(chan []byte, sendBuffer)}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.subs[sub] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serve(sub)
+	}
+}
+
+func (s *Server) serve(sub *subscriber) {
+	defer s.wg.Done()
+	defer s.drop(sub)
+	// Handshake.
+	hello, err := EncodeFrame(MsgHello, []byte{1}) // protocol version 1
+	if err != nil {
+		return
+	}
+	if err := s.write(sub, hello); err != nil {
+		return
+	}
+	s.mu.Lock()
+	period := s.heartbeat
+	s.mu.Unlock()
+	hb := time.NewTicker(period)
+	defer hb.Stop()
+	for {
+		select {
+		case frame, ok := <-sub.ch:
+			if !ok {
+				return
+			}
+			if err := s.write(sub, frame); err != nil {
+				return
+			}
+		case <-hb.C:
+			frame, err := EncodeFrame(MsgHeartbeat, nil)
+			if err != nil {
+				return
+			}
+			if err := s.write(sub, frame); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) write(sub *subscriber, frame []byte) error {
+	sub.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	_, err := sub.conn.Write(frame)
+	return err
+}
+
+func (s *Server) drop(sub *subscriber) {
+	s.mu.Lock()
+	if _, ok := s.subs[sub]; ok {
+		delete(s.subs, sub)
+		close(sub.ch)
+	}
+	s.mu.Unlock()
+	sub.conn.Close()
+}
+
+// SetHeartbeat changes the idle heartbeat period for subscribers that
+// connect afterwards (existing subscribers keep their period).
+func (s *Server) SetHeartbeat(d time.Duration) {
+	s.mu.Lock()
+	if d > 0 {
+		s.heartbeat = d
+	}
+	s.mu.Unlock()
+}
+
+// Publish broadcasts a reading to every subscriber. Subscribers whose
+// queues are full are disconnected. Publish never blocks.
+func (s *Server) Publish(rd Reading) {
+	frame, err := EncodeFrame(MsgReading, EncodeReading(rd))
+	if err != nil {
+		s.logf("gateway: encode reading: %v", err)
+		return
+	}
+	s.mu.Lock()
+	var tooSlow []*subscriber
+	for sub := range s.subs {
+		select {
+		case sub.ch <- frame:
+		default:
+			tooSlow = append(tooSlow, sub)
+		}
+	}
+	// Remove saturated subscribers under the same lock so a second
+	// Publish cannot double-close their channels.
+	for _, sub := range tooSlow {
+		delete(s.subs, sub)
+		close(sub.ch)
+		sub.conn.Close()
+		s.logf("gateway: dropped slow subscriber %v", sub.conn.RemoteAddr())
+	}
+	s.mu.Unlock()
+}
+
+// Subscribers returns the current subscriber count.
+func (s *Server) Subscribers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
+// Close stops accepting, disconnects all subscribers and waits for the
+// server goroutines to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for sub := range s.subs {
+		delete(s.subs, sub)
+		close(sub.ch)
+		sub.conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}

@@ -1,0 +1,69 @@
+package gateway
+
+import (
+	"context"
+	"time"
+)
+
+// Subscribe maintains a resilient subscription to a gateway: it dials,
+// streams readings into out, and on any error re-dials with exponential
+// backoff until ctx is cancelled. A shore-side consumer of a coastal
+// deployment runs for months; transient gateway restarts and network blips
+// must not require operator attention.
+//
+// The out channel is closed when ctx ends. Readings that arrive while out
+// is full are dropped (a telemetry feed prefers freshness over
+// completeness).
+func Subscribe(ctx context.Context, addr string, out chan<- Reading) {
+	defer close(out)
+	backoff := 100 * time.Millisecond
+	const maxBackoff = 10 * time.Second
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		c, err := Dial(ctx, addr)
+		if err != nil {
+			if !sleepCtx(ctx, backoff) {
+				return
+			}
+			backoff *= 2
+			if backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			continue
+		}
+		backoff = 100 * time.Millisecond // connected: reset
+		// Close the connection when ctx ends so Next unblocks.
+		stop := context.AfterFunc(ctx, func() { c.Close() })
+		for {
+			rd, err := c.Next(time.Now().Add(30 * time.Second))
+			if err != nil {
+				break
+			}
+			select {
+			case out <- rd:
+			case <-ctx.Done():
+				stop()
+				c.Close()
+				return
+			default: // slow consumer: drop the reading
+			}
+		}
+		stop()
+		c.Close()
+	}
+}
+
+// sleepCtx sleeps for d or until ctx is done; it reports whether the full
+// sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,111 @@
+package link
+
+import "fmt"
+
+// Hamming(7,4) forward error correction: each 4-bit nibble becomes a 7-bit
+// codeword able to correct any single bit error. Combined with the block
+// interleaver below, this turns the short error bursts typical of acoustic
+// fading into isolated, correctable errors — the heaviest code an
+// ultra-low-power node can afford to encode (three XOR gates per parity
+// bit).
+
+// HammingEncode expands data bits (any multiple of 4) into 7-bit codewords.
+// Codeword layout: [d1 d2 d3 d4 p1 p2 p3] with
+//
+//	p1 = d1⊕d2⊕d4,  p2 = d1⊕d3⊕d4,  p3 = d2⊕d3⊕d4.
+func HammingEncode(bits []byte) ([]byte, error) {
+	if len(bits)%4 != 0 {
+		return nil, fmt.Errorf("link: hamming input %d bits, need multiple of 4", len(bits))
+	}
+	out := make([]byte, 0, len(bits)/4*7)
+	for i := 0; i < len(bits); i += 4 {
+		d1, d2, d3, d4 := bits[i], bits[i+1], bits[i+2], bits[i+3]
+		p1 := d1 ^ d2 ^ d4
+		p2 := d1 ^ d3 ^ d4
+		p3 := d2 ^ d3 ^ d4
+		out = append(out, d1, d2, d3, d4, p1, p2, p3)
+	}
+	return out, nil
+}
+
+// HammingDecode corrects single-bit errors per 7-bit codeword and returns
+// the data bits together with the number of corrections applied. Double-bit
+// errors are miscorrected (inherent to the code); the frame CRC catches
+// those.
+func HammingDecode(code []byte) (data []byte, corrected int, err error) {
+	if len(code)%7 != 0 {
+		return nil, 0, fmt.Errorf("link: hamming code %d bits, need multiple of 7", len(code))
+	}
+	data = make([]byte, 0, len(code)/7*4)
+	for i := 0; i < len(code); i += 7 {
+		w := [7]byte{code[i], code[i+1], code[i+2], code[i+3], code[i+4], code[i+5], code[i+6]}
+		s1 := w[0] ^ w[1] ^ w[3] ^ w[4]
+		s2 := w[0] ^ w[2] ^ w[3] ^ w[5]
+		s3 := w[1] ^ w[2] ^ w[3] ^ w[6]
+		syndrome := s1 | s2<<1 | s3<<2
+		if syndrome != 0 {
+			// Map syndrome to the offending bit position.
+			pos := hammingSyndromePos[syndrome]
+			w[pos] ^= 1
+			corrected++
+		}
+		data = append(data, w[0], w[1], w[2], w[3])
+	}
+	return data, corrected, nil
+}
+
+// hammingSyndromePos maps the (s1, s2, s3) syndrome to the flipped bit index
+// in the [d1 d2 d3 d4 p1 p2 p3] layout. Index 0 is unused (zero syndrome).
+var hammingSyndromePos = [8]int{
+	0, // 000: no error
+	4, // 001: p1
+	5, // 010: p2
+	0, // 011: d1 (in s1 and s2)
+	6, // 100: p3
+	1, // 101: d2 (s1, s3)
+	2, // 110: d3 (s2, s3)
+	3, // 111: d4 (all)
+}
+
+// Interleave performs block interleaving of bits with the given depth:
+// bits are written row-wise into a depth×w matrix and read column-wise,
+// spreading a burst of up to depth consecutive channel errors across
+// different codewords. The bit count must be a multiple of depth.
+func Interleave(bits []byte, depth int) ([]byte, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("link: interleave depth %d must be >= 1", depth)
+	}
+	if len(bits)%depth != 0 {
+		return nil, fmt.Errorf("link: %d bits not divisible by depth %d", len(bits), depth)
+	}
+	w := len(bits) / depth
+	out := make([]byte, len(bits))
+	idx := 0
+	for col := 0; col < w; col++ {
+		for row := 0; row < depth; row++ {
+			out[idx] = bits[row*w+col]
+			idx++
+		}
+	}
+	return out, nil
+}
+
+// Deinterleave inverts Interleave with the same depth.
+func Deinterleave(bits []byte, depth int) ([]byte, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("link: interleave depth %d must be >= 1", depth)
+	}
+	if len(bits)%depth != 0 {
+		return nil, fmt.Errorf("link: %d bits not divisible by depth %d", len(bits), depth)
+	}
+	w := len(bits) / depth
+	out := make([]byte, len(bits))
+	idx := 0
+	for col := 0; col < w; col++ {
+		for row := 0; row < depth; row++ {
+			out[row*w+col] = bits[idx]
+			idx++
+		}
+	}
+	return out, nil
+}

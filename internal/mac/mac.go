@@ -1,0 +1,238 @@
+// Package mac implements the medium access layer of a VAB network: a
+// reader-initiated polling protocol over the shared acoustic channel.
+//
+// Backscatter nodes cannot hear each other (their receivers only detect the
+// strong reader downlink), so all coordination flows through the reader: it
+// polls nodes one at a time, addressing each by its link-layer address, and
+// retries lost rounds with bounded attempts. Broadcast queries elicit
+// responses from every powered node and are used for discovery, with a
+// framed-slotted backoff resolving collisions (nodes answer in a
+// pseudo-random slot derived from their address).
+package mac
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// PollPolicy tunes the polling scheduler.
+type PollPolicy struct {
+	// MaxRetries bounds per-node retransmissions within one cycle.
+	MaxRetries int
+	// BackoffSlots is the discovery window size in response slots.
+	BackoffSlots int
+	// DropAfter removes a node from the schedule after this many
+	// consecutive failed cycles (0 = never drop).
+	DropAfter int
+}
+
+// DefaultPollPolicy matches the field campaign: two retries, eight
+// discovery slots, nodes dropped after five silent cycles.
+func DefaultPollPolicy() PollPolicy {
+	return PollPolicy{MaxRetries: 2, BackoffSlots: 8, DropAfter: 5}
+}
+
+// Validate reports nonsensical policies.
+func (p PollPolicy) Validate() error {
+	if p.MaxRetries < 0 {
+		return fmt.Errorf("mac: negative retries")
+	}
+	if p.BackoffSlots < 1 {
+		return fmt.Errorf("mac: discovery needs at least one slot")
+	}
+	if p.DropAfter < 0 {
+		return fmt.Errorf("mac: negative drop threshold")
+	}
+	return nil
+}
+
+// RoundResult is the outcome of one poll attempt, as reported by the
+// underlying PHY/reader stack.
+type RoundResult struct {
+	OK      bool
+	Payload []byte
+	SNRdB   float64
+}
+
+// Transceiver abstracts the physical exchange: the scheduler calls Poll
+// once per attempt. Implementations wrap core.System (waveform-level) or a
+// link-budget sampler (campaign-level).
+type Transceiver interface {
+	Poll(addr byte) (RoundResult, error)
+}
+
+// NodeState tracks scheduler bookkeeping per node.
+type NodeState struct {
+	Addr         byte
+	Polls        int
+	Successes    int
+	Retries      int
+	SilentCycles int
+	Dropped      bool
+	LastSNRdB    float64
+}
+
+// Scheduler runs the polling MAC over a set of node addresses.
+type Scheduler struct {
+	policy PollPolicy
+	trx    Transceiver
+	nodes  map[byte]*NodeState
+	order  []byte
+}
+
+// NewScheduler builds a scheduler over the given transceiver.
+func NewScheduler(trx Transceiver, policy PollPolicy) (*Scheduler, error) {
+	if trx == nil {
+		return nil, fmt.Errorf("mac: transceiver required")
+	}
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	return &Scheduler{
+		policy: policy,
+		trx:    trx,
+		nodes:  make(map[byte]*NodeState),
+	}, nil
+}
+
+// AddNode registers a node address for polling. Duplicate adds are no-ops.
+func (s *Scheduler) AddNode(addr byte) {
+	if _, ok := s.nodes[addr]; ok {
+		return
+	}
+	s.nodes[addr] = &NodeState{Addr: addr}
+	s.order = append(s.order, addr)
+	sort.Slice(s.order, func(i, j int) bool { return s.order[i] < s.order[j] })
+}
+
+// Nodes returns the bookkeeping for every registered node, ordered by
+// address.
+func (s *Scheduler) Nodes() []NodeState {
+	out := make([]NodeState, 0, len(s.order))
+	for _, a := range s.order {
+		out = append(out, *s.nodes[a])
+	}
+	return out
+}
+
+// CycleReport summarizes one full polling cycle.
+type CycleReport struct {
+	Polled    int
+	Delivered int
+	Retries   int
+	Payloads  map[byte][]byte
+}
+
+// RunCycle polls every live node once (with retries) and returns the cycle
+// summary.
+func (s *Scheduler) RunCycle() (CycleReport, error) {
+	rep := CycleReport{Payloads: make(map[byte][]byte)}
+	for _, addr := range s.order {
+		st := s.nodes[addr]
+		if st.Dropped {
+			continue
+		}
+		rep.Polled++
+		delivered := false
+		for attempt := 0; attempt <= s.policy.MaxRetries; attempt++ {
+			st.Polls++
+			if attempt > 0 {
+				st.Retries++
+				rep.Retries++
+			}
+			res, err := s.trx.Poll(addr)
+			if err != nil {
+				return rep, fmt.Errorf("mac: poll %d: %w", addr, err)
+			}
+			if res.OK {
+				st.Successes++
+				st.LastSNRdB = res.SNRdB
+				rep.Payloads[addr] = res.Payload
+				delivered = true
+				break
+			}
+		}
+		if delivered {
+			st.SilentCycles = 0
+			rep.Delivered++
+		} else {
+			st.SilentCycles++
+			if s.policy.DropAfter > 0 && st.SilentCycles >= s.policy.DropAfter {
+				st.Dropped = true
+			}
+		}
+	}
+	return rep, nil
+}
+
+// DeliveryRatio returns delivered/polled across all completed cycles for a
+// node, or 0 if it was never polled.
+func (s *Scheduler) DeliveryRatio(addr byte) float64 {
+	st, ok := s.nodes[addr]
+	if !ok || st.Polls == 0 {
+		return 0
+	}
+	return float64(st.Successes) / float64(st.Polls)
+}
+
+// DiscoverySlot returns the response slot a node picks inside a discovery
+// window: a hash of its address and the round nonce, uniform over the
+// window. Nodes compute this with one multiply — cheap enough for
+// microwatt logic.
+func DiscoverySlot(addr byte, nonce uint16, slots int) int {
+	h := uint32(addr)*2654435761 + uint32(nonce)*40503
+	h ^= h >> 13
+	return int(h % uint32(slots))
+}
+
+// SimulateDiscovery models one framed-slotted discovery round: nodes pick
+// slots via DiscoverySlot; slots with exactly one respondent succeed (the
+// reader cannot separate colliding backscatter bursts). It returns the
+// discovered addresses. capture, in [0,1), is the probability that a
+// two-way collision still decodes (power capture effect), evaluated with
+// rng.
+func SimulateDiscovery(addrs []byte, nonce uint16, slots int, capture float64, rng *rand.Rand) []byte {
+	bySlot := make(map[int][]byte)
+	for _, a := range addrs {
+		s := DiscoverySlot(a, nonce, slots)
+		bySlot[s] = append(bySlot[s], a)
+	}
+	var found []byte
+	for _, group := range bySlot {
+		switch {
+		case len(group) == 1:
+			found = append(found, group[0])
+		case len(group) == 2 && rng != nil && rng.Float64() < capture:
+			found = append(found, group[rng.Intn(2)])
+		}
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i] < found[j] })
+	return found
+}
+
+// DiscoverAll runs discovery rounds until every address is found or
+// maxRounds is exhausted, returning the rounds used and the found set.
+func DiscoverAll(addrs []byte, slots int, capture float64, rng *rand.Rand, maxRounds int) (int, []byte) {
+	found := make(map[byte]bool)
+	var nonce uint16
+	rounds := 0
+	for ; rounds < maxRounds && len(found) < len(addrs); rounds++ {
+		var missing []byte
+		for _, a := range addrs {
+			if !found[a] {
+				missing = append(missing, a)
+			}
+		}
+		nonce++
+		for _, a := range SimulateDiscovery(missing, nonce, slots, capture, rng) {
+			found[a] = true
+		}
+	}
+	out := make([]byte, 0, len(found))
+	for a := range found {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return rounds, out
+}

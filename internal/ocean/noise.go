@@ -1,0 +1,46 @@
+package ocean
+
+import "math"
+
+// NoisePSD returns the ambient noise power spectral density in
+// dB re 1 µPa²/Hz at frequency fHz, combining the four Wenz noise sources
+// in the parameterization standard in underwater networking (turbulence,
+// distant shipping, wind-driven surface agitation, thermal):
+//
+//	turbulence: 17 − 30·log10(f)
+//	shipping:   40 + 20(s − 0.5) + 26·log10(f) − 60·log10(f + 0.03)
+//	wind:       50 + 7.5·√w + 20·log10(f) − 40·log10(f + 0.4)
+//	thermal:    −15 + 20·log10(f)
+//
+// with f in kHz, s the shipping factor in [0,1] and w the wind speed in m/s.
+// Around the VAB carrier (18.5 kHz) wind noise dominates, which is why the
+// ocean trials face a noticeably higher noise floor than the calm river.
+func (e *Environment) NoisePSD(fHz float64) float64 {
+	f := math.Max(fHz/1000, 1e-3) // kHz, clamped away from log singularities
+	lf := math.Log10(f)
+	nt := 17 - 30*lf
+	ns := 40 + 20*(e.Shipping-0.5) + 26*lf - 60*math.Log10(f+0.03)
+	nw := 50 + 7.5*math.Sqrt(e.WindSpeed) + 20*lf - 40*math.Log10(f+0.4)
+	nth := -15 + 20*lf
+	lin := math.Pow(10, nt/10) + math.Pow(10, ns/10) +
+		math.Pow(10, nw/10) + math.Pow(10, nth/10)
+	return 10 * math.Log10(lin)
+}
+
+// NoiseLevel returns the total ambient noise level in dB re 1 µPa within a
+// band of width bwHz centered at fHz, integrating the (slowly varying) Wenz
+// PSD with a 5-point rule across the band.
+func (e *Environment) NoiseLevel(fHz, bwHz float64) float64 {
+	if bwHz <= 0 {
+		return e.NoisePSD(fHz)
+	}
+	lo := math.Max(fHz-bwHz/2, 1)
+	hi := fHz + bwHz/2
+	var lin float64
+	const pts = 5
+	for i := 0; i < pts; i++ {
+		f := lo + (hi-lo)*(float64(i)+0.5)/pts
+		lin += math.Pow(10, e.NoisePSD(f)/10) * (hi - lo) / pts
+	}
+	return 10 * math.Log10(lin)
+}

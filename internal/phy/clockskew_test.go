@@ -1,0 +1,95 @@
+package phy
+
+import (
+	"math/rand"
+	"testing"
+
+	"vab/internal/dsp"
+)
+
+// skewTrial runs a full acquire+demod pass against a node whose clock is
+// off by ppm, returning the chip error count over a 128-chip burst.
+func skewTrial(t *testing.T, ppm float64, seed int64) int {
+	t.Helper()
+	p := DefaultParams()
+	p.ClockPPM = ppm
+	m, err := NewModulator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The receiver assumes a nominal clock.
+	d, err := NewDemodulator(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	chips := make([]byte, 128)
+	for i := range chips {
+		chips[i] = byte(rng.Intn(2))
+	}
+	g, err := m.GammaWaveform(chips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delay := 300
+	y := dsp.GaussianNoise(make([]complex128, delay+len(g)+2048), 1e-4, rng)
+	for i, v := range g {
+		y[delay+i] += complex(0.2*v, 0)
+	}
+	d.Suppress(y)
+	acq, err := d.Acquire(y, 0.2)
+	if err != nil {
+		return len(chips) // total loss
+	}
+	acq = d.RefineTiming(y, acq, 24)
+	soft, err := d.DemodChips(y, acq, len(chips))
+	if err != nil {
+		return len(chips)
+	}
+	return CountChipErrors(HardChips(soft), chips)
+}
+
+func TestClockSkewToleranceBudget(t *testing.T) {
+	// Crystal-class errors (±100 ppm) must decode cleanly: over a
+	// 128+31-chip burst at 500 cps, 100 ppm slips ~0.5 samples — well
+	// inside a chip.
+	for _, ppm := range []float64{-100, -20, 0, 20, 100} {
+		if errs := skewTrial(t, ppm, 3); errs != 0 {
+			t.Errorf("%+.0f ppm: %d chip errors, want 0", ppm, errs)
+		}
+	}
+}
+
+func TestClockSkewBreaksEventually(t *testing.T) {
+	// RC-oscillator-class error (several thousand ppm) slips multiple
+	// chips across the burst and must degrade visibly — confirming the
+	// simulation actually models the impairment rather than ignoring it.
+	errsBig := skewTrial(t, 8000, 5)
+	if errsBig < 10 {
+		t.Errorf("8000 ppm produced only %d chip errors; skew not modeled?", errsBig)
+	}
+	// And the degradation should be monotone-ish between the regimes.
+	errsMid := skewTrial(t, 2000, 5)
+	if errsMid > errsBig {
+		t.Errorf("2000 ppm (%d errors) worse than 8000 ppm (%d)", errsMid, errsBig)
+	}
+}
+
+func TestClockSkewStretchesBurst(t *testing.T) {
+	p := DefaultParams()
+	m0, _ := NewModulator(p)
+	g0, _ := m0.GammaWaveform(make([]byte, 64))
+
+	p.ClockPPM = -5000 // slow clock: longer burst
+	ms, _ := NewModulator(p)
+	gs, _ := ms.GammaWaveform(make([]byte, 64))
+	if len(gs) <= len(g0) {
+		t.Errorf("slow clock should stretch the burst: %d vs %d", len(gs), len(g0))
+	}
+	p.ClockPPM = 5000 // fast clock: shorter burst
+	mf, _ := NewModulator(p)
+	gf, _ := mf.GammaWaveform(make([]byte, 64))
+	if len(gf) >= len(g0) {
+		t.Errorf("fast clock should shrink the burst: %d vs %d", len(gf), len(g0))
+	}
+}

@@ -1,0 +1,281 @@
+package phy
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vab/internal/dsp"
+)
+
+func TestMFSKParamsValidate(t *testing.T) {
+	p := DefaultMFSKParams()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.BitsPerSymbol() != 2 || p.BitRate() != 1000 {
+		t.Errorf("4-FSK at 500 cps: %d bits/sym, %v bps", p.BitsPerSymbol(), p.BitRate())
+	}
+	bad := []func(*MFSKParams){
+		func(p *MFSKParams) { p.SampleRate = 0 },
+		func(p *MFSKParams) { p.Tones = p.Tones[:3] },             // not power of two
+		func(p *MFSKParams) { p.Tones = []float64{500} },          // M < 2
+		func(p *MFSKParams) { p.Tones = []float64{500, 750} },     // non-multiple
+		func(p *MFSKParams) { p.Tones = []float64{500, 500} },     // duplicate
+		func(p *MFSKParams) { p.Tones = []float64{500, 9000} },    // above Nyquist
+		func(p *MFSKParams) { p.PreambleSeq = p.PreambleSeq[:3] }, // short preamble
+		func(p *MFSKParams) { p.ChipRate = 499 },                  // non-integer spc
+	}
+	for i, mutate := range bad {
+		q := DefaultMFSKParams()
+		mutate(&q)
+		if err := q.Validate(); err == nil {
+			t.Errorf("mutation %d not rejected", i)
+		}
+	}
+}
+
+func TestSymbolsBitsRoundTripProperty(t *testing.T) {
+	f := func(data []byte, kRaw uint8) bool {
+		k := int(kRaw)%3 + 1 // 1..3 bits per symbol
+		bits := make([]byte, len(data)/k*k)
+		for i := range bits {
+			bits[i] = data[i] & 1
+		}
+		syms, err := SymbolsFromBits(bits, k)
+		if err != nil {
+			return false
+		}
+		back, err := BitsFromSymbols(syms, k)
+		return err == nil && bytes.Equal(back, bits)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymbolsBitsErrors(t *testing.T) {
+	if _, err := SymbolsFromBits([]byte{1, 0, 1}, 2); err == nil {
+		t.Error("non-divisible bit count accepted")
+	}
+	if _, err := SymbolsFromBits([]byte{2, 0}, 2); err == nil {
+		t.Error("non-binary bit accepted")
+	}
+	if _, err := SymbolsFromBits(nil, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := BitsFromSymbols([]byte{4}, 2); err == nil {
+		t.Error("oversized symbol accepted")
+	}
+	if _, err := BitsFromSymbols(nil, 9); err == nil {
+		t.Error("k=9 accepted")
+	}
+}
+
+func TestMFSKGammaStructure(t *testing.T) {
+	p := DefaultMFSKParams()
+	m, err := NewMFSKModulator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := []byte{0, 1, 2, 3}
+	g, err := m.GammaWaveform(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != m.BurstSamples(len(syms)) {
+		t.Fatalf("length %d want %d", len(g), m.BurstSamples(len(syms)))
+	}
+	for _, v := range g {
+		if v != 0 && v != 1 {
+			t.Fatal("non-binary switch state")
+		}
+	}
+	if _, err := m.GammaWaveform([]byte{4}); err == nil {
+		t.Error("out-of-range symbol accepted")
+	}
+}
+
+// mfskLoopback builds a capture with the modulated burst at an offset.
+func mfskLoopback(t *testing.T, p MFSKParams, syms []byte, delay int, gain complex128, noise float64, seed int64) []complex128 {
+	t.Helper()
+	m, err := NewMFSKModulator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := m.GammaWaveform(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	y := dsp.GaussianNoise(make([]complex128, delay+len(g)+256), noise, rng)
+	for i, v := range g {
+		y[delay+i] += gain * complex(v, 0)
+	}
+	return y
+}
+
+func TestMFSKEndToEndClean(t *testing.T) {
+	p := DefaultMFSKParams()
+	d, err := NewMFSKDemodulator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	syms := make([]byte, 120)
+	for i := range syms {
+		syms[i] = byte(rng.Intn(4))
+	}
+	y := mfskLoopback(t, p, syms, 444, complex(0.2, 0.3), 1e-6, 5)
+	d.Suppress(y)
+	acq, err := d.Acquire(y, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acq.Start < 442 || acq.Start > 446 {
+		t.Errorf("acquired at %d, want ~444", acq.Start)
+	}
+	soft, err := d.DemodSymbols(y, acq, len(syms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := HardSymbols(soft)
+	errs := 0
+	for i := range got {
+		if got[i] != syms[i] {
+			errs++
+		}
+	}
+	if errs != 0 {
+		t.Errorf("%d symbol errors on a clean channel", errs)
+	}
+	// Margins should be decisive.
+	for i, s := range soft[:10] {
+		if s.Margin() < 0.3 {
+			t.Errorf("weak margin %v at %d", s.Margin(), i)
+		}
+	}
+}
+
+func TestMFSKDegradesGracefully(t *testing.T) {
+	p := DefaultMFSKParams()
+	d, _ := NewMFSKDemodulator(p)
+	syms := make([]byte, 200)
+	rng := rand.New(rand.NewSource(3))
+	for i := range syms {
+		syms[i] = byte(rng.Intn(4))
+	}
+	y := mfskLoopback(t, p, syms, 0, complex(0.003, 0), 1.0, 7)
+	acq := Acquisition{Start: 0}
+	soft, err := d.DemodSymbols(y, acq, len(syms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i, s := range HardSymbols(soft) {
+		if s != syms[i] {
+			errs++
+		}
+	}
+	// Buried signal: error rate should approach 3/4 (random guess among 4).
+	if errs < 100 || errs > 190 {
+		t.Errorf("symbol errors %d/200 not near chance", errs)
+	}
+}
+
+func TestMFSKCaptureErrors(t *testing.T) {
+	p := DefaultMFSKParams()
+	d, _ := NewMFSKDemodulator(p)
+	if _, err := d.Acquire(make([]complex128, 10), 0.2); err == nil {
+		t.Error("short capture acquired")
+	}
+	if _, err := d.DemodSymbols(make([]complex128, 100), Acquisition{}, 50); err == nil {
+		t.Error("short demod accepted")
+	}
+	bad := DefaultMFSKParams()
+	bad.ChipRate = 0
+	if _, err := NewMFSKModulator(bad); err == nil {
+		t.Error("bad params accepted")
+	}
+	if _, err := NewMFSKDemodulator(bad); err == nil {
+		t.Error("bad params accepted")
+	}
+}
+
+func TestBERNoncoherentMFSKLimits(t *testing.T) {
+	// M=2 must reduce to the binary formula.
+	for _, snr := range []float64{1, 5, 20} {
+		want := BERNoncoherentFSK(snr)
+		if got := BERNoncoherentMFSK(snr, 2); math.Abs(got-want) > 1e-12 {
+			t.Errorf("M=2 at %v: %v vs %v", snr, got, want)
+		}
+	}
+	// At zero SNR, Pb = M/(2(M-1))·Ps with Ps = (M-1)/M → Pb = 1/2.
+	if got := BERNoncoherentMFSK(0, 4); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("Pb(0 SNR, M=4) = %v, want 0.5", got)
+	}
+	// Monotone decreasing in SNR.
+	prev := 1.0
+	for snr := 0.5; snr < 60; snr *= 1.5 {
+		v := BERNoncoherentMFSK(snr, 4)
+		if v > prev+1e-12 {
+			t.Fatalf("not monotone at %v", snr)
+		}
+		prev = v
+	}
+	// At equal Es/N0, larger M has higher symbol error, but per-bit (same
+	// Eb/N0 = Es/(N0·k)) 4-FSK beats 2-FSK — the classic orthogonal-FSK
+	// power-efficiency gain.
+	eb := 12.0
+	b2 := BERNoncoherentFSK(eb)
+	b4 := BERNoncoherentMFSK(2*eb, 4) // Es = 2·Eb for k=2
+	if b4 >= b2 {
+		t.Errorf("4-FSK at equal Eb/N0 should beat 2-FSK: %v vs %v", b4, b2)
+	}
+}
+
+func TestMFSKMonteCarloMatchesAnalytic(t *testing.T) {
+	// Waveform-level 4-FSK symbol detection vs the closed form, on AWGN.
+	p := DefaultMFSKParams()
+	d, _ := NewMFSKDemodulator(p)
+	rng := rand.New(rand.NewSource(11))
+	spc := p.SamplesPerChip()
+
+	nSym := 6000
+	syms := make([]byte, nSym)
+	for i := range syms {
+		syms[i] = byte(rng.Intn(4))
+	}
+	m, _ := NewMFSKModulator(p)
+	g, _ := m.GammaWaveform(syms)
+	// Choose amplitude for a target Es/N0 around 9 dB: tone amplitude of
+	// the switched waveform's fundamental is a/π per sideband... measure
+	// empirically instead: signal bin energy for amplitude A is
+	// (spc·A/π)²; noise bin energy is spc·N.
+	noiseP := 0.01
+	amp := 0.04
+	y := dsp.GaussianNoise(make([]complex128, len(g)), noiseP, rng)
+	for i, v := range g {
+		y[i] += complex(amp*v, 0)
+	}
+	soft, err := d.DemodSymbols(y, Acquisition{Start: 0}, nSym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i, s := range HardSymbols(soft) {
+		if s != syms[i] {
+			errs++
+		}
+	}
+	psMC := float64(errs) / float64(nSym)
+
+	// Analytic: Es/N0 = (spc·amp/π)² / (spc·noiseP).
+	esn0 := math.Pow(float64(spc)*amp/math.Pi, 2) / (float64(spc) * noiseP)
+	psModel := BERNoncoherentMFSK(esn0, 4) * 2 * 3 / 4 // invert Pb→Ps relation
+	if psMC < psModel/2.5 || psMC > psModel*2.5 {
+		t.Errorf("MC Ps %.4g vs model Ps %.4g (Es/N0 %.1f dB)", psMC, psModel, 10*math.Log10(esn0))
+	}
+}

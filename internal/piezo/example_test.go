@@ -1,0 +1,42 @@
+package piezo_test
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"vab/internal/piezo"
+)
+
+// Example shows the backscatter modulation primitive: toggling the
+// transducer's electrical load between a short and its conjugate match
+// swings the reflection coefficient, and that contrast is the transmitted
+// signal.
+func Example() {
+	tr := piezo.MustDefault()
+	fc := tr.SeriesResonance()
+
+	gOn := tr.ReflectionCoefficient(fc, piezo.ShortLoad)
+	gOff := tr.ReflectionCoefficient(fc, tr.MatchedLoad(fc))
+	fmt.Printf("resonance: %.0f Hz\n", fc)
+	fmt.Printf("|Γ| short: %.2f, matched: %.2f\n", cmplx.Abs(gOn), cmplx.Abs(gOff))
+	fmt.Printf("modulation depth: %.2f\n", tr.ModulationDepth(fc, piezo.ShortLoad, tr.MatchedLoad(fc)))
+	// Output:
+	// resonance: 18500 Hz
+	// |Γ| short: 0.95, matched: 0.00
+	// modulation depth: 0.48
+}
+
+// ExampleDesignLSection matches the transducer to a 50 Ω line at resonance.
+func ExampleDesignLSection() {
+	tr := piezo.MustDefault()
+	fc := tr.SeriesResonance()
+	m, err := piezo.DesignLSection(tr.Impedance(fc), 50, fc)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("|Γ| at design frequency: %.4f\n", m.MatchQuality(fc, tr.Impedance(fc)))
+	fmt.Printf("|Γ| 5%% off frequency: %.2f\n", m.MatchQuality(fc*1.05, tr.Impedance(fc*1.05)))
+	// Output:
+	// |Γ| at design frequency: 0.0000
+	// |Γ| 5% off frequency: 0.80
+}

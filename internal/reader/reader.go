@@ -1,0 +1,201 @@
+// Package reader implements the VAB interrogator: a projector that
+// transmits the carrier and downlink commands, and a hydrophone receive
+// chain that cancels self-interference, acquires backscatter bursts,
+// demodulates subcarrier FSK and decodes link-layer frames.
+package reader
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vab/internal/dsp"
+	"vab/internal/link"
+	"vab/internal/phy"
+)
+
+// Config assembles a reader.
+type Config struct {
+	PHY phy.Params
+	// UplinkCodec decodes node responses (must match the nodes).
+	UplinkCodec link.Codec
+	// DownlinkCodec frames queries and commands. Downlink uses Manchester
+	// without FEC by default: the node's comparator-based receiver decodes
+	// it with trivial hardware.
+	DownlinkCodec link.Codec
+
+	// SourceLevelDB is the projector source level in dB re 1 µPa @ 1 m.
+	SourceLevelDB float64
+	// AcquireThreshold is the minimum normalized correlation for declaring
+	// a burst (0…1).
+	AcquireThreshold float64
+	// UseCanceller enables the adaptive LMS leakage canceller in front of
+	// the DC notch.
+	UseCanceller bool
+	// UseDiversity lets acquisition-reported multipath peaks contribute to
+	// chip decisions.
+	UseDiversity bool
+	// UseEqualizer enables the two-pass decision-feedback equalizer, which
+	// cancels chip-scale late echoes (severe ISI regimes such as
+	// mid-column coastal geometries). Costs a second demodulation pass.
+	UseEqualizer bool
+}
+
+// DefaultConfig returns the reader used by the end-to-end experiments:
+// 180 dB source level (a small projector), canceller and diversity on.
+func DefaultConfig() Config {
+	return Config{
+		PHY:              phy.DefaultParams(),
+		UplinkCodec:      link.DefaultCodec(),
+		DownlinkCodec:    link.Codec{Code: link.Manchester},
+		SourceLevelDB:    180,
+		AcquireThreshold: 0.22,
+		UseCanceller:     true,
+		UseDiversity:     true,
+	}
+}
+
+// Reader is the interrogator. Not safe for concurrent use.
+type Reader struct {
+	cfg   Config
+	mod   *phy.Modulator
+	demod *phy.Demodulator
+	canc  *phy.AdaptiveCanceller
+}
+
+// New validates the configuration and builds a reader.
+func New(cfg Config) (*Reader, error) {
+	if cfg.SourceLevelDB < 100 || cfg.SourceLevelDB > 230 {
+		return nil, fmt.Errorf("reader: source level %.1f dB re µPa implausible", cfg.SourceLevelDB)
+	}
+	if cfg.AcquireThreshold <= 0 || cfg.AcquireThreshold >= 1 {
+		return nil, fmt.Errorf("reader: acquire threshold %.3g outside (0,1)", cfg.AcquireThreshold)
+	}
+	mod, err := phy.NewModulator(cfg.PHY)
+	if err != nil {
+		return nil, err
+	}
+	demod, err := phy.NewDemodulator(cfg.PHY)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{cfg: cfg, mod: mod, demod: demod}
+	if cfg.UseCanceller {
+		r.canc = phy.NewAdaptiveCanceller(0.05)
+	}
+	return r, nil
+}
+
+// Config returns the reader configuration.
+func (r *Reader) Config() Config { return r.cfg }
+
+// SourceAmplitude returns the transmit envelope magnitude in µPa (re 1 m).
+func (r *Reader) SourceAmplitude() float64 {
+	return math.Pow(10, r.cfg.SourceLevelDB/20)
+}
+
+// CarrierEnvelope returns n samples of the interrogation carrier at source
+// amplitude.
+func (r *Reader) CarrierEnvelope(n int) []complex128 {
+	x := phy.CarrierEnvelope(n)
+	dsp.Scale(x, r.SourceAmplitude())
+	return x
+}
+
+// QueryWaveform encodes a query for addr as a downlink OOK envelope at
+// source amplitude, returning the waveform and the frame it carries.
+func (r *Reader) QueryWaveform(addr byte, seq byte) ([]complex128, *link.Frame, error) {
+	f := &link.Frame{Type: link.FrameQuery, Addr: addr, Seq: seq}
+	chips, err := r.cfg.DownlinkCodec.EncodeFrame(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("reader: encode query: %w", err)
+	}
+	w, err := r.mod.OOKModulate(chips, 1.0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("reader: modulate query: %w", err)
+	}
+	dsp.Scale(w, r.SourceAmplitude())
+	return w, f, nil
+}
+
+// RxReport describes one decode attempt.
+type RxReport struct {
+	Frame       *link.Frame // nil on failure
+	Err         error       // why decoding failed (nil on success)
+	AcqMetric   float64     // normalized acquisition correlation
+	AcqStart    int         // sample index of the acquired burst (time-of-flight input)
+	SNREstimate float64     // linear per-chip tone SNR estimate
+	MeanMargin  float64     // average soft decision margin
+	Corrected   int         // FEC corrections
+}
+
+// OK reports whether a frame was recovered.
+func (rep *RxReport) OK() bool { return rep.Frame != nil && rep.Err == nil }
+
+// ErrNoBurst is wrapped in RxReport.Err when acquisition fails.
+var ErrNoBurst = errors.New("reader: no burst acquired")
+
+// EstimateRange converts a time-of-flight measurement into a one-way range
+// estimate in meters: acqStart is the acquired burst start in the capture,
+// txStart the sample at which the node's response window began in the
+// transmit frame, and soundSpeed the medium's sound speed. The difference
+// is the round-trip flight time, so range = Δt·c/2. Resolution is one
+// baseband sample (c/fs/2 ≈ 4.6 cm at the default numerology) — the
+// localization primitive VAB's retrodirective architecture enables, since
+// the node answers from any orientation without steering delay.
+func (r *Reader) EstimateRange(acqStart, txStart int, soundSpeed float64) float64 {
+	dt := float64(acqStart-txStart) / r.cfg.PHY.SampleRate
+	return dt * soundSpeed / 2
+}
+
+// Decode runs the full receive pipeline on a raw hydrophone capture.
+// txRef is the reader's own transmit envelope (for the canceller; may be
+// nil when the projector was silent). payloadLen is the expected response
+// payload size in bytes.
+func (r *Reader) Decode(capture, txRef []complex128, payloadLen int) RxReport {
+	var rep RxReport
+	y := capture
+	if r.canc != nil && txRef != nil && len(txRef) == len(y) {
+		r.canc.Reset()
+		y = append([]complex128(nil), y...)
+		r.canc.Prime(y, txRef)
+		y = r.canc.Process(y, txRef)
+	}
+	y = r.demod.Suppress(y)
+	acq, err := r.demod.Acquire(y, r.cfg.AcquireThreshold)
+	if err != nil {
+		rep.Err = fmt.Errorf("%w: %v", ErrNoBurst, err)
+		return rep
+	}
+	rep.AcqMetric = acq.Metric
+	rep.AcqStart = acq.Start
+	if !r.cfg.UseDiversity {
+		acq.Peaks = nil
+	}
+	nChips := r.cfg.UplinkCodec.ChipLength(payloadLen)
+	probe := nChips
+	if probe > 24 {
+		probe = 24
+	}
+	acq = r.demod.RefineTiming(y, acq, probe)
+	var soft []phy.SoftChip
+	if r.cfg.UseEqualizer {
+		soft, _, err = r.demod.EqualizeAndDemod(y, acq, nChips, 8)
+	} else {
+		soft, err = r.demod.DemodChips(y, acq, nChips)
+	}
+	if err != nil {
+		rep.Err = fmt.Errorf("reader: demod: %w", err)
+		return rep
+	}
+	rep.SNREstimate = phy.EstimateSNR(soft)
+	rep.MeanMargin = phy.MeanMargin(soft)
+	frame, stats, err := r.cfg.UplinkCodec.DecodeFrame(phy.HardChips(soft))
+	rep.Corrected = stats.CorrectedBits
+	if err != nil {
+		rep.Err = fmt.Errorf("reader: frame decode: %w", err)
+		return rep
+	}
+	rep.Frame = frame
+	return rep
+}

@@ -1,0 +1,31 @@
+package vanatta_test
+
+import (
+	"fmt"
+	"math"
+
+	"vab/internal/piezo"
+	"vab/internal/vanatta"
+)
+
+// Example demonstrates the defining property of a Van Atta array: its
+// monostatic backscatter gain is flat across incidence angle, while a
+// conventional (specular) array of the same size collapses off broadside.
+func Example() {
+	const c, fc = 1480.0, 18500.0
+	arr, err := vanatta.NewUniformLinear(16, c/fc/2, piezo.MustDefault(), c)
+	if err != nil {
+		panic(err)
+	}
+	arr.LineLossDB = 0
+	arr.LineDelaySec = 0
+
+	for _, deg := range []float64{0, 40} {
+		th := deg * math.Pi / 180
+		fmt.Printf("%2.0f°: van atta %.1f dB, specular %.1f dB\n",
+			deg, arr.MonostaticGainDB(fc, th), arr.MonostaticSpecularGainDB(fc, th))
+	}
+	// Output:
+	// 0°: van atta 24.1 dB, specular 24.1 dB
+	// 40°: van atta 24.1 dB, specular -1.3 dB
+}
