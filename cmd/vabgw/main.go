@@ -18,9 +18,11 @@ import (
 	"time"
 
 	"vab/internal/core"
+	"vab/internal/dsp"
 	"vab/internal/gateway"
 	"vab/internal/mac"
 	"vab/internal/ocean"
+	"vab/internal/telemetry"
 )
 
 func main() {
@@ -29,6 +31,7 @@ func main() {
 	interval := flag.Duration("interval", 2*time.Second, "polling cycle interval")
 	duration := flag.Duration("duration", 0, "exit after this long (0 = run until signal)")
 	envName := flag.String("env", "river", "environment: river or ocean")
+	metricsAddr := flag.String("metrics", "", "ops endpoint address for /metrics, /healthz and pprof (empty = telemetry off)")
 	flag.Parse()
 
 	var env *ocean.Environment
@@ -76,6 +79,21 @@ func main() {
 	}
 	defer srv.Close()
 	log.Printf("vabgw: serving %d nodes (%s) on %s", *nodes, env.Name, srv.Addr())
+
+	// Telemetry is off (free no-ops everywhere) unless -metrics names an
+	// ops address.
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		ops, err := telemetry.Serve(ctx, *metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("vabgw: metrics endpoint: %v", err)
+		}
+		defer ops.Close()
+		dsp.Instrument(reg)
+		fleet.Instrument(reg)
+		srv.Instrument(reg)
+		log.Printf("vabgw: metrics on http://%s/metrics", ops.Addr())
+	}
 
 	ticker := time.NewTicker(*interval)
 	defer ticker.Stop()

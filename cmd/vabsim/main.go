@@ -11,12 +11,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"vab/internal/dsp"
 	"vab/internal/experiments"
+	"vab/internal/sim"
+	"vab/internal/telemetry"
 )
 
 func main() {
@@ -25,7 +29,25 @@ func main() {
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	list := flag.Bool("list", false, "list the experiment inventory and exit")
+	metricsAddr := flag.String("metrics", "", "ops endpoint address for /metrics, /healthz and pprof during the run (empty = telemetry off)")
 	flag.Parse()
+
+	// Telemetry is off (free no-ops) unless -metrics names an ops address;
+	// the seeded Monte-Carlo outputs are bit-identical either way. The
+	// endpoint lives for the duration of the campaign — long runs can be
+	// scraped or profiled while they grind.
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		ops, err := telemetry.Serve(context.Background(), *metricsAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer ops.Close()
+		dsp.Instrument(reg)
+		sim.Instrument(reg)
+		experiments.Instrument(reg)
+		fmt.Fprintf(os.Stderr, "vabsim: metrics on http://%s/metrics\n", ops.Addr())
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -6,6 +6,7 @@ import (
 
 	"vab/internal/mac"
 	"vab/internal/node"
+	"vab/internal/telemetry"
 )
 
 // Fleet is a multi-node deployment: one reader polling several battery-free
@@ -82,6 +83,20 @@ func (t fleetTrx) Poll(addr byte) (mac.RoundResult, error) {
 		snr = 10 * math.Log10(rep.ToneSNREst)
 	}
 	return mac.RoundResult{OK: true, Payload: rep.Rx.Frame.Payload, SNRdB: snr}, nil
+}
+
+// Instrument wires telemetry through every layer the fleet owns: the MAC
+// scheduler's polling counters and each per-node system's round tracer
+// and receive-chain metrics. All systems share one registry, so counters
+// aggregate fleet-wide. A nil registry is a no-op; call before RunCycle.
+func (f *Fleet) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	f.sched.Instrument(reg)
+	for _, addr := range f.order {
+		f.systems[addr].Instrument(reg)
+	}
 }
 
 // Deploy charges every node for the given duration (the pre-campaign

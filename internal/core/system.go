@@ -11,6 +11,7 @@ import (
 	"vab/internal/ocean"
 	"vab/internal/phy"
 	"vab/internal/reader"
+	"vab/internal/telemetry"
 )
 
 // SystemConfig describes one reader↔node deployment for waveform-level
@@ -69,6 +70,27 @@ type System struct {
 	querySeq byte
 	sway     *rand.Rand
 	linkSeed int64
+
+	// trace times RunRound's pipeline stages; nil (the default) records
+	// nothing. Set via Instrument.
+	trace  *telemetry.Tracer
+	rounds *telemetry.Counter
+}
+
+// Instrument enables round-stage tracing (vab_round_stage_seconds) and
+// receive-chain metrics for this system. The rounds counter and stage
+// histograms aggregate across systems instrumented against one registry.
+// A nil registry is a no-op; telemetry never perturbs the seeded RNGs, so
+// instrumented and bare runs are bit-identical.
+func (s *System) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.trace = telemetry.NewTracer(reg, "vab_round_stage_seconds",
+		"Wall time of one system round's pipeline stages.", nil)
+	s.rounds = reg.Counter("vab_round_total",
+		"Query-response rounds executed at waveform level.")
+	s.Reader.Instrument(reg)
 }
 
 // rebuildLink recreates the channel with mooring sway applied to the
@@ -191,6 +213,7 @@ type RoundReport struct {
 func (s *System) RunRound() (RoundReport, error) {
 	var rep RoundReport
 	cfg := s.cfg.Reader
+	s.rounds.Inc()
 
 	// Mooring sway between rounds: refresh the multipath geometry.
 	if s.cfg.SwayRMS > 0 {
@@ -200,12 +223,16 @@ func (s *System) RunRound() (RoundReport, error) {
 	}
 
 	// Downlink: query through the channel, node-side OOK decode.
+	sp := s.trace.Stage("modulate")
 	qw, _, err := s.Reader.QueryWaveform(s.cfg.NodeAddr, s.querySeq)
+	sp.End()
 	if err != nil {
 		return rep, err
 	}
 	s.querySeq++
+	sp = s.trace.Stage("channel")
 	atNode := s.Link.Downlink(qw)
+	sp.End()
 	ook, err := phy.NewOOKDemodulator(cfg.PHY)
 	if err != nil {
 		return rep, err
@@ -223,7 +250,9 @@ func (s *System) RunRound() (RoundReport, error) {
 	rep.QueryOK = true
 
 	// Node responds with its reflection waveform.
+	sp = s.trace.Stage("node")
 	gammaBits, err := s.Node.HandleQuery(qf)
+	sp.End()
 	if err != nil {
 		return rep, err
 	}
@@ -242,11 +271,15 @@ func (s *System) RunRound() (RoundReport, error) {
 	for i, g := range gammaBits {
 		gamma[pad+i] = complex(s.deltaG*g, 0)
 	}
+	sp = s.trace.Stage("channel")
 	capture, err := s.Link.RoundTrip(tx, gamma, s.nodeGain)
+	sp.End()
 	if err != nil {
 		return rep, err
 	}
+	sp = s.trace.Stage("decode")
 	rep.Rx = s.Reader.Decode(capture, tx, node.PayloadSize)
+	sp.End()
 	rep.ToneSNREst = rep.Rx.SNREstimate
 	if rep.Rx.OK() {
 		_, rep.PayloadOK = node.DecodeReading(rep.Rx.Frame.Payload)

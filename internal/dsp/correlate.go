@@ -3,6 +3,8 @@ package dsp
 import (
 	"math"
 	"math/cmplx"
+
+	"vab/internal/telemetry"
 )
 
 // XCorr returns the cross-correlation of x against reference ref at every
@@ -17,6 +19,8 @@ func XCorr(x, ref []complex128) []complex128 {
 	if len(ref) == 0 || len(x) < len(ref) {
 		return nil
 	}
+	sp := telemetry.StartSpan(metXCorrTime)
+	defer sp.End()
 	nOut := len(x) - len(ref) + 1
 	// Heuristic: direct O(n·m) beats FFT for small m.
 	if len(ref) <= 64 {

@@ -3,6 +3,8 @@ package dsp
 import (
 	"math"
 	"math/cmplx"
+
+	"vab/internal/telemetry"
 )
 
 // FFT returns the discrete Fourier transform of x. The input is not
@@ -10,17 +12,21 @@ import (
 // transform; other lengths fall back to Bluestein's algorithm, so any
 // length is supported in O(n log n).
 func FFT(x []complex128) []complex128 {
+	sp := telemetry.StartSpan(metFFTTime)
 	out := make([]complex128, len(x))
 	copy(out, x)
 	fftInPlace(out, false)
+	sp.End()
 	return out
 }
 
 // IFFT returns the inverse DFT of x (with 1/n normalization).
 func IFFT(x []complex128) []complex128 {
+	sp := telemetry.StartSpan(metFFTTime)
 	out := make([]complex128, len(x))
 	copy(out, x)
 	fftInPlace(out, true)
+	sp.End()
 	return out
 }
 

@@ -20,6 +20,7 @@ import (
 	"vab/internal/core"
 	"vab/internal/ocean"
 	"vab/internal/sim"
+	"vab/internal/telemetry"
 )
 
 // Result is one regenerated artifact.
@@ -124,13 +125,31 @@ func IDs() []string {
 	return ids
 }
 
+// metReg holds the registry passed to Instrument; nil (the default) makes
+// per-experiment wall-clock recording a no-op.
+var metReg *telemetry.Registry
+
+// Instrument enables per-experiment wall-clock histograms
+// (vab_experiment_seconds{id="E1"}…) against reg. Call once at startup.
+func Instrument(reg *telemetry.Registry) { metReg = reg }
+
 // Run executes one experiment by ID.
 func Run(id string, opts Options) (*Result, error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 	}
-	return r(opts)
+	var sp telemetry.Span
+	if metReg != nil {
+		sp = telemetry.StartSpan(metReg.Histogram(
+			telemetry.Label("vab_experiment_seconds", "id", id),
+			"Wall time of one experiment run.", nil))
+	}
+	res, err := r(opts)
+	if err == nil {
+		sp.End()
+	}
+	return res, err
 }
 
 // RunAll executes every experiment in ID order.

@@ -2,20 +2,31 @@ package gateway
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 )
 
 // FuzzReadFrame feeds arbitrary bytes to the wire-frame reader: it must
 // reject garbage without panicking, and round-trip anything it accepts.
+// Encoder and decoder share the MaxPayloadSize bound, so every accepted
+// frame must be one the encoder could have produced.
 func FuzzReadFrame(f *testing.F) {
 	good, _ := EncodeFrame(MsgReading, EncodeReading(testReading()))
 	f.Add(good)
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0x56}, 64))
+	// Boundary seeds: the largest encodable frame and a header one byte
+	// past the shared payload bound.
+	biggest, _ := EncodeFrame(MsgReading, make([]byte, MaxPayloadSize))
+	f.Add(biggest)
+	f.Add(oversizeHeader())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		typ, payload, err := ReadFrame(bytes.NewReader(data))
 		if err != nil {
 			return
+		}
+		if len(payload) > MaxPayloadSize {
+			t.Fatalf("accepted %d-byte payload beyond MaxPayloadSize=%d", len(payload), MaxPayloadSize)
 		}
 		re, err := EncodeFrame(typ, payload)
 		if err != nil {
@@ -25,6 +36,15 @@ func FuzzReadFrame(f *testing.F) {
 			t.Fatalf("frame prefix mismatch")
 		}
 	})
+}
+
+// oversizeHeader builds a well-formed header announcing MaxPayloadSize+1
+// payload bytes (and supplies them), which the decoder must reject.
+func oversizeHeader() []byte {
+	hdr := binary.BigEndian.AppendUint32(nil, Magic)
+	hdr = append(hdr, byte(MsgReading))
+	hdr = binary.BigEndian.AppendUint32(hdr, MaxPayloadSize+1)
+	return append(hdr, make([]byte, MaxPayloadSize+1)...)
 }
 
 // FuzzDecodeReading must never panic on arbitrary payloads.

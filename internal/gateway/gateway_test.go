@@ -3,6 +3,7 @@ package gateway
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"errors"
 	"net"
 	"testing"
@@ -51,6 +52,33 @@ func TestFrameErrors(t *testing.T) {
 	frame2, _ := EncodeFrame(MsgReading, []byte{1, 2, 3, 4})
 	if _, _, err := ReadFrame(bytes.NewReader(frame2[:len(frame2)-2])); !errors.Is(err, ErrTruncated) {
 		t.Errorf("truncation: %v", err)
+	}
+}
+
+func TestFramePayloadBoundary(t *testing.T) {
+	// Encoder and decoder must agree on the exact payload bound: a frame
+	// of MaxPayloadSize round-trips, one byte more is rejected by both.
+	frame, err := EncodeFrame(MsgReading, make([]byte, MaxPayloadSize))
+	if err != nil {
+		t.Fatalf("encode at MaxPayloadSize: %v", err)
+	}
+	if len(frame) != MaxFrameSize {
+		t.Errorf("largest frame is %d bytes, want MaxFrameSize=%d", len(frame), MaxFrameSize)
+	}
+	if _, payload, err := ReadFrame(bytes.NewReader(frame)); err != nil || len(payload) != MaxPayloadSize {
+		t.Errorf("decode at MaxPayloadSize: len=%d err=%v", len(payload), err)
+	}
+	if _, err := EncodeFrame(MsgReading, make([]byte, MaxPayloadSize+1)); !errors.Is(err, ErrOversize) {
+		t.Errorf("encode beyond bound: %v", err)
+	}
+	// A handcrafted header announcing one payload byte too many must be
+	// rejected even though it is under MaxFrameSize+header: the decoder
+	// may not admit frames the encoder cannot produce.
+	over := frame[:9:9]
+	binary.BigEndian.PutUint32(over[5:9], MaxPayloadSize+1)
+	over = append(over, make([]byte, MaxPayloadSize+1)...)
+	if _, _, err := ReadFrame(bytes.NewReader(over)); !errors.Is(err, ErrOversize) {
+		t.Errorf("decode beyond bound: %v", err)
 	}
 }
 

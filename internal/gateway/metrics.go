@@ -1,0 +1,63 @@
+package gateway
+
+import (
+	"sync/atomic"
+
+	"vab/internal/telemetry"
+)
+
+// gwMetrics bundles the server's instrumentation handles. The zero value
+// (all-nil metrics) is the noop default; all telemetry operations on nil
+// handles are free.
+type gwMetrics struct {
+	subscribers *telemetry.Gauge   // currently connected subscribers
+	connects    *telemetry.Counter // lifetime accepted subscribers
+	framesSent  *telemetry.Counter // frames written to sockets
+	readings    *telemetry.Counter // readings published
+	heartbeats  *telemetry.Counter // heartbeat frames sent
+	slowDrops   *telemetry.Counter // subscribers dropped for not draining
+	writeErrors *telemetry.Counter // socket write failures
+}
+
+// noopGW is handed out before Instrument is called: its nil fields make
+// every metric operation a no-op.
+var noopGW gwMetrics
+
+// Instrument registers the server's metrics in reg and starts recording.
+// Safe to call while the server is live (the handle swap is atomic) and
+// with a nil registry (stays noop).
+func (s *Server) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	m := &gwMetrics{
+		subscribers: reg.Gauge("vab_gateway_subscribers",
+			"Currently connected TCP subscribers."),
+		connects: reg.Counter("vab_gateway_subscribers_accepted_total",
+			"Subscriber connections accepted since start."),
+		framesSent: reg.Counter("vab_gateway_frames_sent_total",
+			"Wire frames successfully written to subscriber sockets."),
+		readings: reg.Counter("vab_gateway_readings_published_total",
+			"Sensor readings published to the fan-out."),
+		heartbeats: reg.Counter("vab_gateway_heartbeats_total",
+			"Heartbeat frames sent to idle subscribers."),
+		slowDrops: reg.Counter("vab_gateway_slow_subscriber_drops_total",
+			"Subscribers disconnected because their send queue filled."),
+		writeErrors: reg.Counter("vab_gateway_write_errors_total",
+			"Socket write failures (subscriber lost mid-frame)."),
+	}
+	s.metrics.Store(m)
+	m.subscribers.Set(float64(s.Subscribers()))
+}
+
+// met returns the live metrics handle or the noop bundle.
+func (s *Server) met() *gwMetrics {
+	if m := s.metrics.Load(); m != nil {
+		return m
+	}
+	return &noopGW
+}
+
+// metricsPtr is embedded in Server as an atomic handle so Instrument can
+// race connection goroutines safely.
+type metricsPtr = atomic.Pointer[gwMetrics]

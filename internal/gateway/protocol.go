@@ -22,6 +22,13 @@ const (
 	Magic = uint32(0x56414231) // "VAB1"
 	// MaxFrameSize bounds a frame on the wire.
 	MaxFrameSize = 512
+	// frameHeaderSize is the fixed header: magic (4), type (1), length (4).
+	frameHeaderSize = 9
+	// MaxPayloadSize bounds a frame payload so the whole frame — header
+	// included — fits in MaxFrameSize. Encoder and decoder enforce the
+	// same bound: the decoder must not admit frames the encoder can never
+	// produce.
+	MaxPayloadSize = MaxFrameSize - frameHeaderSize
 )
 
 // MsgType discriminates wire messages.
@@ -57,10 +64,10 @@ var (
 
 // EncodeFrame renders a wire frame: magic, type, length, payload.
 func EncodeFrame(t MsgType, payload []byte) ([]byte, error) {
-	if len(payload) > MaxFrameSize-9 {
+	if len(payload) > MaxPayloadSize {
 		return nil, ErrOversize
 	}
-	out := make([]byte, 0, 9+len(payload))
+	out := make([]byte, 0, frameHeaderSize+len(payload))
 	out = binary.BigEndian.AppendUint32(out, Magic)
 	out = append(out, byte(t))
 	out = binary.BigEndian.AppendUint32(out, uint32(len(payload)))
@@ -69,7 +76,7 @@ func EncodeFrame(t MsgType, payload []byte) ([]byte, error) {
 
 // ReadFrame reads one frame from r, returning its type and payload.
 func ReadFrame(r io.Reader) (MsgType, []byte, error) {
-	var hdr [9]byte
+	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
@@ -78,7 +85,7 @@ func ReadFrame(r io.Reader) (MsgType, []byte, error) {
 	}
 	t := MsgType(hdr[4])
 	n := binary.BigEndian.Uint32(hdr[5:9])
-	if n > MaxFrameSize {
+	if n > MaxPayloadSize {
 		return 0, nil, ErrOversize
 	}
 	payload := make([]byte, n)

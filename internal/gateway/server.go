@@ -20,6 +20,10 @@ type Server struct {
 	wg     sync.WaitGroup
 
 	heartbeat time.Duration
+
+	// metrics is swapped atomically by Instrument; nil means telemetry is
+	// off and every recording below is a free no-op.
+	metrics metricsPtr
 }
 
 type subscriber struct {
@@ -74,7 +78,11 @@ func (s *Server) acceptLoop(ctx context.Context) {
 			return
 		}
 		s.subs[sub] = struct{}{}
+		n := len(s.subs)
 		s.mu.Unlock()
+		m := s.met()
+		m.connects.Inc()
+		m.subscribers.Set(float64(n))
 		s.wg.Add(1)
 		go s.serve(sub)
 	}
@@ -113,6 +121,7 @@ func (s *Server) serve(sub *subscriber) {
 			if err := s.write(sub, frame); err != nil {
 				return
 			}
+			s.met().heartbeats.Inc()
 		}
 	}
 }
@@ -120,6 +129,12 @@ func (s *Server) serve(sub *subscriber) {
 func (s *Server) write(sub *subscriber, frame []byte) error {
 	sub.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
 	_, err := sub.conn.Write(frame)
+	m := s.met()
+	if err != nil {
+		m.writeErrors.Inc()
+	} else {
+		m.framesSent.Inc()
+	}
 	return err
 }
 
@@ -129,8 +144,10 @@ func (s *Server) drop(sub *subscriber) {
 		delete(s.subs, sub)
 		close(sub.ch)
 	}
+	n := len(s.subs)
 	s.mu.Unlock()
 	sub.conn.Close()
+	s.met().subscribers.Set(float64(n))
 }
 
 // SetHeartbeat changes the idle heartbeat period for subscribers that
@@ -168,7 +185,12 @@ func (s *Server) Publish(rd Reading) {
 		sub.conn.Close()
 		s.logf("gateway: dropped slow subscriber %v", sub.conn.RemoteAddr())
 	}
+	n := len(s.subs)
 	s.mu.Unlock()
+	m := s.met()
+	m.readings.Inc()
+	m.slowDrops.Add(int64(len(tooSlow)))
+	m.subscribers.Set(float64(n))
 }
 
 // Subscribers returns the current subscriber count.
@@ -194,6 +216,7 @@ func (s *Server) Close() error {
 		sub.conn.Close()
 	}
 	s.mu.Unlock()
+	s.met().subscribers.Set(0)
 	s.wg.Wait()
 	return err
 }

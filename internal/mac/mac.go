@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"vab/internal/telemetry"
 )
 
 // PollPolicy tunes the polling scheduler.
@@ -79,6 +81,54 @@ type Scheduler struct {
 	trx    Transceiver
 	nodes  map[byte]*NodeState
 	order  []byte
+	met    macMetrics
+}
+
+// macMetrics instruments the polling loop. Zero value = noop.
+type macMetrics struct {
+	polls     *telemetry.Counter
+	delivered *telemetry.Counter
+	retries   *telemetry.Counter
+	timeouts  *telemetry.Counter // attempts that returned no frame
+	dropped   *telemetry.Counter // nodes removed by the liveness policy
+	liveNodes *telemetry.Gauge
+	pollTime  *telemetry.Histogram
+}
+
+// Instrument registers MAC metrics in reg and starts recording. Call
+// before RunCycle; a nil registry leaves the scheduler uninstrumented.
+func (s *Scheduler) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.met = macMetrics{
+		polls: reg.Counter("vab_mac_polls_total",
+			"Poll attempts issued (including retries)."),
+		delivered: reg.Counter("vab_mac_deliveries_total",
+			"Polls that delivered a frame within the retry budget."),
+		retries: reg.Counter("vab_mac_retries_total",
+			"Retransmission attempts beyond the first poll."),
+		timeouts: reg.Counter("vab_mac_timeouts_total",
+			"Poll attempts that elicited no decodable response."),
+		dropped: reg.Counter("vab_mac_nodes_dropped_total",
+			"Nodes removed from the schedule by the liveness policy."),
+		liveNodes: reg.Gauge("vab_mac_live_nodes",
+			"Nodes currently in the polling schedule."),
+		pollTime: reg.Histogram("vab_mac_poll_seconds",
+			"Wall time of one poll attempt (transceiver round).", nil),
+	}
+	s.met.liveNodes.Set(float64(s.liveCount()))
+}
+
+// liveCount returns the number of nodes still in the schedule.
+func (s *Scheduler) liveCount() int {
+	n := 0
+	for _, st := range s.nodes {
+		if !st.Dropped {
+			n++
+		}
+	}
+	return n
 }
 
 // NewScheduler builds a scheduler over the given transceiver.
@@ -104,6 +154,7 @@ func (s *Scheduler) AddNode(addr byte) {
 	s.nodes[addr] = &NodeState{Addr: addr}
 	s.order = append(s.order, addr)
 	sort.Slice(s.order, func(i, j int) bool { return s.order[i] < s.order[j] })
+	s.met.liveNodes.Set(float64(s.liveCount()))
 }
 
 // Nodes returns the bookkeeping for every registered node, ordered by
@@ -137,11 +188,15 @@ func (s *Scheduler) RunCycle() (CycleReport, error) {
 		delivered := false
 		for attempt := 0; attempt <= s.policy.MaxRetries; attempt++ {
 			st.Polls++
+			s.met.polls.Inc()
 			if attempt > 0 {
 				st.Retries++
 				rep.Retries++
+				s.met.retries.Inc()
 			}
+			sp := telemetry.StartSpan(s.met.pollTime)
 			res, err := s.trx.Poll(addr)
+			sp.End()
 			if err != nil {
 				return rep, fmt.Errorf("mac: poll %d: %w", addr, err)
 			}
@@ -152,14 +207,18 @@ func (s *Scheduler) RunCycle() (CycleReport, error) {
 				delivered = true
 				break
 			}
+			s.met.timeouts.Inc()
 		}
 		if delivered {
 			st.SilentCycles = 0
 			rep.Delivered++
+			s.met.delivered.Inc()
 		} else {
 			st.SilentCycles++
 			if s.policy.DropAfter > 0 && st.SilentCycles >= s.policy.DropAfter {
 				st.Dropped = true
+				s.met.dropped.Inc()
+				s.met.liveNodes.Set(float64(s.liveCount()))
 			}
 		}
 	}

@@ -3,6 +3,8 @@ package mac
 import (
 	"fmt"
 	"math"
+
+	"vab/internal/telemetry"
 )
 
 // RateController adapts the link's chip rate to the observed channel: the
@@ -30,6 +32,37 @@ type RateController struct {
 	idx    int
 	ewmaDB float64
 	primed bool
+	met    rateMetrics
+}
+
+// rateMetrics instruments rate-controller decisions. Zero value = noop.
+type rateMetrics struct {
+	stepsUp   *telemetry.Counter
+	stepsDown *telemetry.Counter
+	lossSteps *telemetry.Counter
+	chipRate  *telemetry.Gauge
+	snrEWMA   *telemetry.Gauge
+}
+
+// Instrument registers rate-adaptation metrics in reg and starts
+// recording. A nil registry leaves the controller uninstrumented.
+func (rc *RateController) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	rc.met = rateMetrics{
+		stepsUp: reg.Counter("vab_mac_rate_steps_up_total",
+			"Rate-controller steps to a faster chip rate."),
+		stepsDown: reg.Counter("vab_mac_rate_steps_down_total",
+			"Rate-controller steps to a slower chip rate on SNR deficit."),
+		lossSteps: reg.Counter("vab_mac_rate_loss_steps_total",
+			"Immediate step-downs triggered by a lost round."),
+		chipRate: reg.Gauge("vab_mac_rate_chips_per_second",
+			"Currently selected chip rate."),
+		snrEWMA: reg.Gauge("vab_mac_rate_snr_ewma_db",
+			"Smoothed SNR belief normalized to the lowest rate, dB."),
+	}
+	rc.met.chipRate.Set(rc.Rate())
 }
 
 // NewRateController validates and builds a controller starting at the
@@ -84,10 +117,14 @@ func (rc *RateController) Observe(snrDB float64) float64 {
 	for rc.idx+1 < len(rc.Rates) &&
 		rc.ewmaDB >= rc.requiredAt(rc.idx+1)+rc.UpMarginDB {
 		rc.idx++
+		rc.met.stepsUp.Inc()
 	}
 	for rc.idx > 0 && rc.ewmaDB < rc.requiredAt(rc.idx)+rc.DownMarginDB {
 		rc.idx--
+		rc.met.stepsDown.Inc()
 	}
+	rc.met.chipRate.Set(rc.Rate())
+	rc.met.snrEWMA.Set(rc.ewmaDB)
 	return rc.Rate()
 }
 
@@ -96,9 +133,12 @@ func (rc *RateController) Observe(snrDB float64) float64 {
 func (rc *RateController) ObserveLoss() float64 {
 	if rc.idx > 0 {
 		rc.idx--
+		rc.met.lossSteps.Inc()
 	}
 	if rc.primed {
 		rc.ewmaDB -= 3
+		rc.met.snrEWMA.Set(rc.ewmaDB)
 	}
+	rc.met.chipRate.Set(rc.Rate())
 	return rc.Rate()
 }

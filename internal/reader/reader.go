@@ -12,6 +12,7 @@ import (
 	"vab/internal/dsp"
 	"vab/internal/link"
 	"vab/internal/phy"
+	"vab/internal/telemetry"
 )
 
 // Config assembles a reader.
@@ -61,6 +62,50 @@ type Reader struct {
 	mod   *phy.Modulator
 	demod *phy.Demodulator
 	canc  *phy.AdaptiveCanceller
+	met   rdMetrics
+}
+
+// rdMetrics carries the receive-chain instrumentation. The zero value is
+// the noop default; counters are shared when several readers (a fleet)
+// instrument against one registry, aggregating across nodes.
+type rdMetrics struct {
+	acquires    *telemetry.Counter
+	acquireFail *telemetry.Counter
+	demodErrors *telemetry.Counter
+	decodeErrors *telemetry.Counter
+	frames      *telemetry.Counter
+	corrected   *telemetry.Counter
+	snrDB       *telemetry.Histogram
+	stages      *telemetry.Tracer
+}
+
+// Instrument registers receive-chain metrics in reg and starts recording.
+// A nil registry leaves the reader uninstrumented (every recording is a
+// free no-op). Call before Decode; the reader itself is not safe for
+// concurrent use, but the metrics are, so fleet-wide aggregation works.
+func (r *Reader) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	r.met = rdMetrics{
+		acquires: reg.Counter("vab_reader_acquire_total",
+			"Burst acquisition attempts (one per capture decoded)."),
+		acquireFail: reg.Counter("vab_reader_acquire_failures_total",
+			"Captures in which no backscatter burst was acquired."),
+		demodErrors: reg.Counter("vab_reader_demod_errors_total",
+			"Captures that acquired but failed chip demodulation."),
+		decodeErrors: reg.Counter("vab_reader_decode_errors_total",
+			"Captures that demodulated but failed frame decoding (FEC/CRC)."),
+		frames: reg.Counter("vab_reader_frames_total",
+			"Frames recovered end to end."),
+		corrected: reg.Counter("vab_reader_fec_corrected_bits_total",
+			"Bits repaired by the FEC across recovered frames."),
+		snrDB: reg.Histogram("vab_reader_snr_db",
+			"Per-frame tone SNR estimate in dB.",
+			telemetry.LinearBuckets(-10, 2, 25)),
+		stages: telemetry.NewTracer(reg, "vab_reader_stage_seconds",
+			"Receive-pipeline stage wall time in seconds.", nil),
+	}
 }
 
 // New validates the configuration and builds a reader.
@@ -156,14 +201,20 @@ func (r *Reader) Decode(capture, txRef []complex128, payloadLen int) RxReport {
 	var rep RxReport
 	y := capture
 	if r.canc != nil && txRef != nil && len(txRef) == len(y) {
+		sp := r.met.stages.Stage("cancel")
 		r.canc.Reset()
 		y = append([]complex128(nil), y...)
 		r.canc.Prime(y, txRef)
 		y = r.canc.Process(y, txRef)
+		sp.End()
 	}
 	y = r.demod.Suppress(y)
+	r.met.acquires.Inc()
+	sp := r.met.stages.Stage("acquire")
 	acq, err := r.demod.Acquire(y, r.cfg.AcquireThreshold)
+	sp.End()
 	if err != nil {
+		r.met.acquireFail.Inc()
 		rep.Err = fmt.Errorf("%w: %v", ErrNoBurst, err)
 		return rep
 	}
@@ -179,23 +230,34 @@ func (r *Reader) Decode(capture, txRef []complex128, payloadLen int) RxReport {
 	}
 	acq = r.demod.RefineTiming(y, acq, probe)
 	var soft []phy.SoftChip
+	sp = r.met.stages.Stage("demod")
 	if r.cfg.UseEqualizer {
 		soft, _, err = r.demod.EqualizeAndDemod(y, acq, nChips, 8)
 	} else {
 		soft, err = r.demod.DemodChips(y, acq, nChips)
 	}
+	sp.End()
 	if err != nil {
+		r.met.demodErrors.Inc()
 		rep.Err = fmt.Errorf("reader: demod: %w", err)
 		return rep
 	}
 	rep.SNREstimate = phy.EstimateSNR(soft)
 	rep.MeanMargin = phy.MeanMargin(soft)
+	sp = r.met.stages.Stage("decode")
 	frame, stats, err := r.cfg.UplinkCodec.DecodeFrame(phy.HardChips(soft))
+	sp.End()
 	rep.Corrected = stats.CorrectedBits
 	if err != nil {
+		r.met.decodeErrors.Inc()
 		rep.Err = fmt.Errorf("reader: frame decode: %w", err)
 		return rep
 	}
 	rep.Frame = frame
+	r.met.frames.Inc()
+	r.met.corrected.Add(int64(stats.CorrectedBits))
+	if rep.SNREstimate > 0 {
+		r.met.snrDB.Observe(10 * math.Log10(rep.SNREstimate))
+	}
 	return rep
 }

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"testing"
+
+	"vab/internal/core"
+	"vab/internal/ocean"
+	"vab/internal/telemetry"
+)
+
+// TestRunCellSeededDeterminism pins the Monte-Carlo contract that every
+// experiment artifact depends on: the same TrialConfig.Seed must produce a
+// byte-identical CellResult, run after run. Future parallelization of the
+// trial loop must preserve this (e.g. by sharding the RNG per trial rather
+// than sharing one stream across goroutines in racy order).
+func TestRunCellSeededDeterminism(t *testing.T) {
+	env := ocean.CharlesRiver()
+	d, err := core.NewVanAttaDesign(core.DefaultNodeElements, env, core.DefaultCarrierHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := core.NewLinkBudget(env, d)
+	for _, seed := range []int64{1, 42, 7919} {
+		cfg := TrialConfig{
+			Budget: b, RangeM: 150, Trials: 400,
+			ChipsPerTrial: 392, Seed: seed,
+		}
+		first, err := RunCell(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := RunCell(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first != second {
+			t.Errorf("seed %d not deterministic:\n first %+v\nsecond %+v", seed, first, second)
+		}
+	}
+}
+
+// TestRunCellDeterminismUnderTelemetry verifies the telemetry contract:
+// instrumenting the harness observes counters but never perturbs the
+// seeded trial stream.
+func TestRunCellDeterminismUnderTelemetry(t *testing.T) {
+	env := ocean.CharlesRiver()
+	d, err := core.NewVanAttaDesign(core.DefaultNodeElements, env, core.DefaultCarrierHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := core.NewLinkBudget(env, d)
+	cfg := TrialConfig{
+		Budget: b, RangeM: 200, Trials: 300,
+		ChipsPerTrial: 392, Seed: 99,
+	}
+	bare, err := RunCell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.NewRegistry()
+	Instrument(reg)
+	defer Instrument(nil) // Instrument(nil) is a no-op; reset vars below
+	defer func() {
+		metTrials, metChips, metChipErrors = nil, nil, nil
+		metLostFrames, metCells, metCellTime = nil, nil, nil
+	}()
+	instrumented, err := RunCell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare != instrumented {
+		t.Errorf("telemetry perturbed the cell:\n bare %+v\ninstr %+v", bare, instrumented)
+	}
+	if got := reg.Snapshot(); len(got) == 0 {
+		t.Error("instrumented run recorded nothing")
+	}
+	var trials float64
+	for _, s := range reg.Snapshot() {
+		if s.Name == "vab_sim_trials_total" {
+			trials = s.Value
+		}
+	}
+	if trials != float64(cfg.Trials) {
+		t.Errorf("vab_sim_trials_total = %g, want %d", trials, cfg.Trials)
+	}
+}

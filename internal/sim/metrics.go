@@ -1,0 +1,37 @@
+package sim
+
+import "vab/internal/telemetry"
+
+// Package-level metric handles: nil (free no-ops) until Instrument is
+// called. Counters are atomic, so concurrent cells aggregate correctly;
+// none of this touches the trial RNG, so seeded outputs are bit-identical
+// with telemetry on or off.
+var (
+	metTrials     *telemetry.Counter
+	metChips      *telemetry.Counter
+	metChipErrors *telemetry.Counter
+	metLostFrames *telemetry.Counter
+	metCells      *telemetry.Counter
+	metCellTime   *telemetry.Histogram
+)
+
+// Instrument registers Monte-Carlo harness metrics in reg and starts
+// recording. Call once at startup, before any cells run: the handles are
+// plain package variables, written here and only read afterwards.
+func Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	metTrials = reg.Counter("vab_sim_trials_total",
+		"Monte-Carlo trials (frames) simulated.")
+	metChips = reg.Counter("vab_sim_chips_total",
+		"Chips simulated across all trials.")
+	metChipErrors = reg.Counter("vab_sim_chip_errors_total",
+		"Chip errors drawn across all trials.")
+	metLostFrames = reg.Counter("vab_sim_frames_lost_total",
+		"Frames whose chip errors exceeded the FEC budget.")
+	metCells = reg.Counter("vab_sim_cells_total",
+		"Monte-Carlo cells completed.")
+	metCellTime = reg.Histogram("vab_sim_cell_seconds",
+		"Wall time of one Monte-Carlo cell.", nil)
+}

@@ -19,6 +19,7 @@ import (
 	"vab/internal/core"
 	"vab/internal/dsp"
 	"vab/internal/phy"
+	"vab/internal/telemetry"
 )
 
 // TrialConfig sets up a Monte-Carlo cell.
@@ -54,6 +55,7 @@ func RunCell(cfg TrialConfig) (CellResult, error) {
 	if cfg.Trials < 1 || cfg.ChipsPerTrial < 1 {
 		return CellResult{}, fmt.Errorf("sim: trials %d and chips %d must be positive", cfg.Trials, cfg.ChipsPerTrial)
 	}
+	sp := telemetry.StartSpan(metCellTime)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	meanSNR := math.Pow(10, cfg.Budget.ToneSNRdB(cfg.RangeM)/10)
 	k := cfg.Budget.EffectiveRicianK(cfg.RangeM)
@@ -81,6 +83,12 @@ func RunCell(cfg TrialConfig) (CellResult, error) {
 	res.BERLow, res.BERHigh = dsp.WilsonCI(res.ChipErrors, res.Chips, 1.96)
 	res.FrameLoss = float64(lostFrames) / float64(cfg.Trials)
 	res.MeanSNRdB = 10 * math.Log10(snrSum/float64(cfg.Trials))
+	metTrials.Add(int64(res.Trials))
+	metChips.Add(int64(res.Chips))
+	metChipErrors.Add(int64(res.ChipErrors))
+	metLostFrames.Add(int64(lostFrames))
+	metCells.Inc()
+	sp.End()
 	return res, nil
 }
 

@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4). Labeled series created via Label are
+// merged under one HELP/TYPE header per base metric name; histogram
+// buckets are emitted cumulatively with the `le` label appended after any
+// existing labels.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	seen := make(map[string]bool)
+	for _, s := range r.Snapshot() {
+		base, labels := splitName(s.Name)
+		if !seen[base] {
+			seen[base] = true
+			if s.Help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", base, s.Help)
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", base, s.Kind)
+		}
+		switch s.Kind {
+		case KindCounter, KindGauge:
+			fmt.Fprintf(bw, "%s %s\n", s.Name, formatFloat(s.Value))
+		case KindHistogram:
+			var cum uint64
+			for i, c := range s.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(s.Bounds) {
+					le = formatFloat(s.Bounds[i])
+				}
+				fmt.Fprintf(bw, "%s %d\n", series(base, labels, "_bucket", `le="`+le+`"`), cum)
+			}
+			fmt.Fprintf(bw, "%s %s\n", series(base, labels, "_sum", ""), formatFloat(s.Sum))
+			fmt.Fprintf(bw, "%s %d\n", series(base, labels, "_count", ""), s.Count)
+		}
+	}
+	return bw.Flush()
+}
+
+// series joins base+suffix with merged label lists.
+func series(base, labels, suffix, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return base + suffix
+	case labels == "":
+		return base + suffix + "{" + extra + "}"
+	case extra == "":
+		return base + suffix + "{" + labels + "}"
+	}
+	return base + suffix + "{" + labels + "," + extra + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// NewHandler returns the ops mux: /metrics (Prometheus text), /healthz,
+// and the pprof suite under /debug/pprof/. It works with a nil registry
+// (serving an empty metrics page), so a command can expose pprof alone.
+func NewHandler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			reg.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// OpsServer is a running metrics/health/pprof endpoint.
+type OpsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the ops endpoint on addr (e.g. "127.0.0.1:9090" or
+// "127.0.0.1:0"). The server stops when ctx is cancelled or Close is
+// called.
+func Serve(ctx context.Context, addr string, reg *Registry) (*OpsServer, error) {
+	var lc net.ListenConfig
+	ln, err := lc.Listen(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	o := &OpsServer{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           NewHandler(reg),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go o.srv.Serve(ln)
+	// Tie the lifetime to the context like gateway.NewServer does.
+	context.AfterFunc(ctx, func() { o.Close() })
+	return o, nil
+}
+
+// Addr returns the bound listen address.
+func (o *OpsServer) Addr() net.Addr { return o.ln.Addr() }
+
+// Close shuts the endpoint down. Idempotent.
+func (o *OpsServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return o.srv.Shutdown(ctx)
+}

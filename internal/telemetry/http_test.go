@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerMetricsAndHealth(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("vab_up_total", "").Add(9)
+	srv := httptest.NewServer(NewHandler(reg))
+	defer srv.Close()
+
+	body := get(t, srv.URL+"/metrics")
+	if !strings.Contains(body, "vab_up_total 9") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if got := get(t, srv.URL+"/healthz"); got != "ok\n" {
+		t.Errorf("/healthz = %q", got)
+	}
+	// pprof index must be wired in.
+	if body := get(t, srv.URL+"/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Error("/debug/pprof/ not serving")
+	}
+}
+
+func TestHandlerNilRegistry(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(nil))
+	defer srv.Close()
+	if body := get(t, srv.URL+"/metrics"); body != "" {
+		t.Errorf("nil registry /metrics = %q, want empty", body)
+	}
+}
+
+func TestServeLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	reg := NewRegistry()
+	reg.Gauge("g", "").Set(1)
+	ops, err := Serve(ctx, "127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := fmt.Sprintf("http://%s/metrics", ops.Addr())
+	if body := get(t, url); !strings.Contains(body, "g 1") {
+		t.Errorf("live scrape missing gauge:\n%s", body)
+	}
+	if err := ops.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ops.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	if _, err := http.Get(url); err == nil {
+		t.Error("endpoint still serving after close")
+	}
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
