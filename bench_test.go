@@ -86,6 +86,21 @@ func BenchmarkE10Campaign(b *testing.B) {
 	benchExperiment(b, "E10", []string{"total_trials"})
 }
 
+// BenchmarkE10CampaignSerial pins the pre-parallelization baseline: the
+// same campaign with the worker pool forced to width 1. The ratio of this
+// to BenchmarkE10Campaign is the measured speedup of the parallel
+// Monte-Carlo harness (≈ the core count on a multi-core runner; outputs
+// are bit-identical either way).
+func BenchmarkE10CampaignSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run("E10", experiments.Options{
+			Trials: 100, Seed: int64(i + 1), Workers: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Ablation benches: the design choices DESIGN.md calls out. ---
 
 // BenchmarkAblationDiversity compares achievable range with and without
@@ -284,9 +299,11 @@ func BenchmarkReaderAcquire(b *testing.B) {
 func BenchmarkFFT1024(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	x := dsp.GaussianNoise(make([]complex128, 1024), 1, rng)
+	out := make([]complex128, 1024)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		dsp.FFT(x)
+		dsp.FFTInto(out, x)
 	}
 	b.SetBytes(1024 * 16)
 }
@@ -294,10 +311,26 @@ func BenchmarkFFT1024(b *testing.B) {
 func BenchmarkFFTBluestein1000(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	x := dsp.GaussianNoise(make([]complex128, 1000), 1, rng)
+	out := make([]complex128, 1000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		dsp.FFT(x)
+		dsp.FFTInto(out, x)
 	}
+}
+
+func BenchmarkRFFT1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 1024)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dsp.RFFT(x)
+	}
+	b.SetBytes(1024 * 8)
 }
 
 func BenchmarkGoertzelChip(b *testing.B) {
@@ -403,6 +436,34 @@ func BenchmarkMonteCarloCell(b *testing.B) {
 		}
 	}
 }
+
+// benchMonteCarloSweep measures a 16-cell RunCells batch at the given pool
+// width; the serial/parallel pair quantifies the worker-pool speedup on
+// whatever machine runs the suite.
+func benchMonteCarloSweep(b *testing.B, workers int) {
+	env := ocean.CharlesRiver()
+	d, err := core.NewVanAttaDesign(core.DefaultNodeElements, env, core.DefaultCarrierHz)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bud := core.NewLinkBudget(env, d)
+	cfgs := make([]sim.TrialConfig, 16)
+	for i := range cfgs {
+		cfgs[i] = sim.TrialConfig{
+			Budget: bud, RangeM: 100 + 20*float64(i), Trials: 100,
+			ChipsPerTrial: 392, Seed: int64(i + 1),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunCells(cfgs, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMonteCarloSweepSerial(b *testing.B)   { benchMonteCarloSweep(b, 1) }
+func BenchmarkMonteCarloSweepParallel(b *testing.B) { benchMonteCarloSweep(b, 0) }
 
 // --- Extension benches (X-series). ---
 

@@ -1,0 +1,186 @@
+// Command vabbench runs the repo's headline performance workloads and
+// emits a machine-readable snapshot, so the perf trajectory is tracked
+// across PRs instead of living in commit messages.
+//
+// Usage:
+//
+//	vabbench                     # writes BENCH_<yyyy-mm-dd>.json
+//	vabbench -out bench.json     # explicit path ("-" for stdout)
+//	vabbench -time 0.2           # seconds per workload (default 1)
+//
+// Each workload is timed with its own calibration loop (run once, then
+// scale iterations to fill the time budget) and reports ns/op plus
+// allocs/op from runtime.MemStats deltas. The serial/parallel pairs share
+// identical seeded inputs, so their ratio is the measured speedup of the
+// worker pool on this machine; the FFT workloads hit the cached-plan
+// FFTInto path the demodulator and bench suite use.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"vab/internal/core"
+	"vab/internal/dsp"
+	"vab/internal/experiments"
+	"vab/internal/ocean"
+	"vab/internal/sim"
+)
+
+// result is one workload's measurement.
+type result struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// report is the emitted JSON document.
+type report struct {
+	Date    string   `json:"date"`
+	Go      string   `json:"go"`
+	CPUs    int      `json:"cpus"`
+	Results []result `json:"results"`
+}
+
+// measure calibrates f with one warm-up call, then runs it enough times to
+// fill roughly budget seconds, reporting per-op wall time and allocations.
+func measure(name string, budget float64, f func()) result {
+	f() // warm-up: builds FFT plans, faults in pages
+
+	start := time.Now()
+	f()
+	per := time.Since(start)
+	if per <= 0 {
+		per = time.Nanosecond
+	}
+	iters := int(budget * float64(time.Second) / float64(per))
+	if iters < 1 {
+		iters = 1
+	}
+	if iters > 1_000_000 {
+		iters = 1_000_000
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		f()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	return result{
+		Name:        name,
+		Iters:       iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
+	}
+}
+
+func main() {
+	out := flag.String("out", "", `output path (default BENCH_<yyyy-mm-dd>.json, "-" for stdout)`)
+	budget := flag.Float64("time", 1.0, "seconds of measurement per workload")
+	flag.Parse()
+
+	env := ocean.CharlesRiver()
+	design, err := core.NewVanAttaDesign(core.DefaultNodeElements, env, core.DefaultCarrierHz)
+	if err != nil {
+		fatal(err)
+	}
+	budgetTier := core.NewLinkBudget(env, design)
+
+	rng := rand.New(rand.NewSource(1))
+	x1024 := dsp.GaussianNoise(make([]complex128, 1024), 1, rng)
+	x1000 := dsp.GaussianNoise(make([]complex128, 1000), 1, rng)
+	dst := make([]complex128, 1024)
+	real1024 := make([]float64, 1024)
+	for i := range real1024 {
+		real1024[i] = rng.NormFloat64()
+	}
+
+	sweep := make([]sim.TrialConfig, 16)
+	for i := range sweep {
+		sweep[i] = sim.TrialConfig{
+			Budget: budgetTier, RangeM: 100 + 20*float64(i), Trials: 100,
+			ChipsPerTrial: 392, Seed: int64(i + 1),
+		}
+	}
+
+	workloads := []struct {
+		name string
+		f    func()
+	}{
+		{"fft1024_into", func() { dsp.FFTInto(dst, x1024) }},
+		{"fft_bluestein1000_into", func() { dsp.FFTInto(dst[:1000], x1000) }},
+		{"rfft1024", func() { dsp.RFFT(real1024) }},
+		{"convolve_1024x64", func() { dsp.Convolve(x1024, x1024[:64]) }},
+		{"montecarlo_cell", func() {
+			if _, err := sim.RunCell(sweep[0]); err != nil {
+				fatal(err)
+			}
+		}},
+		{"montecarlo_sweep16_serial", func() {
+			if _, err := sim.RunCells(sweep, 1); err != nil {
+				fatal(err)
+			}
+		}},
+		{"montecarlo_sweep16_parallel", func() {
+			if _, err := sim.RunCells(sweep, 0); err != nil {
+				fatal(err)
+			}
+		}},
+		{"e10_campaign_serial", func() {
+			if _, err := experiments.Run("E10", experiments.Options{Trials: 100, Seed: 1, Workers: 1}); err != nil {
+				fatal(err)
+			}
+		}},
+		{"e10_campaign_parallel", func() {
+			if _, err := experiments.Run("E10", experiments.Options{Trials: 100, Seed: 1}); err != nil {
+				fatal(err)
+			}
+		}},
+	}
+
+	rep := report{
+		Date: time.Now().Format("2006-01-02"),
+		Go:   runtime.Version(),
+		CPUs: runtime.NumCPU(),
+	}
+	for _, w := range workloads {
+		r := measure(w.name, *budget, w.f)
+		fmt.Fprintf(os.Stderr, "vabbench: %-28s %12.0f ns/op %8.1f allocs/op (%d iters)\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.Iters)
+		rep.Results = append(rep.Results, r)
+	}
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", rep.Date)
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if path == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "vabbench: wrote %s\n", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vabbench:", err)
+	os.Exit(1)
+}

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"vab/internal/dsp"
@@ -27,6 +28,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment ID (E1..E10, X1..), or 'all'")
 	trials := flag.Int("trials", 0, "Monte-Carlo trials per cell (0 = experiment default)")
 	seed := flag.Int64("seed", 1, "base RNG seed")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for Monte-Carlo cells and concurrent experiments (seeded output is bit-identical at any count)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	list := flag.Bool("list", false, "list the experiment inventory and exit")
 	metricsAddr := flag.String("metrics", "", "ops endpoint address for /metrics, /healthz and pprof during the run (empty = telemetry off)")
@@ -60,7 +62,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Trials: *trials, Seed: *seed}
+	opts := experiments.Options{Trials: *trials, Seed: *seed, Workers: *workers}
 	var results []*experiments.Result
 	if strings.EqualFold(*exp, "all") {
 		all, err := experiments.RunAll(opts)

@@ -35,11 +35,15 @@ func XCorr(x, ref []complex128) []complex128 {
 		return out
 	}
 	// FFT path: correlation = convolution with conjugated, reversed ref.
-	rev := make([]complex128, len(ref))
+	// The reversed reference only lives for the Convolve call, so it runs
+	// on a pooled scratch buffer.
+	s := getScratch(len(ref))
+	rev := s.buf
 	for i, r := range ref {
 		rev[len(ref)-1-i] = cmplx.Conj(r)
 	}
 	full := Convolve(x, rev)
+	putScratch(s)
 	// Valid region starts at len(ref)-1.
 	return full[len(ref)-1 : len(ref)-1+nOut]
 }

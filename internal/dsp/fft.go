@@ -1,7 +1,6 @@
 package dsp
 
 import (
-	"math"
 	"math/cmplx"
 
 	"vab/internal/telemetry"
@@ -10,125 +9,116 @@ import (
 // FFT returns the discrete Fourier transform of x. The input is not
 // modified. Power-of-two lengths use an iterative radix-2 Cooley-Tukey
 // transform; other lengths fall back to Bluestein's algorithm, so any
-// length is supported in O(n log n).
+// length is supported in O(n log n). Twiddle, permutation and chirp tables
+// are cached per size (see plan.go), so repeated transforms of the same
+// length do no trigonometry and — via FFTInto — no allocation.
 func FFT(x []complex128) []complex128 {
-	sp := telemetry.StartSpan(metFFTTime)
 	out := make([]complex128, len(x))
-	copy(out, x)
-	fftInPlace(out, false)
-	sp.End()
+	FFTInto(out, x)
 	return out
 }
 
 // IFFT returns the inverse DFT of x (with 1/n normalization).
 func IFFT(x []complex128) []complex128 {
-	sp := telemetry.StartSpan(metFFTTime)
 	out := make([]complex128, len(x))
-	copy(out, x)
-	fftInPlace(out, true)
-	sp.End()
+	IFFTInto(out, x)
 	return out
 }
 
-// fftInPlace transforms x in place. inverse selects the inverse transform,
-// which includes the 1/n scaling.
-func fftInPlace(x []complex128, inverse bool) {
-	n := len(x)
-	if n <= 1 {
+// FFTInto computes the DFT of src into dst without allocating (after the
+// size's plan is cached). The slices must have equal length and either be
+// identical (in-place transform) or not overlap.
+func FFTInto(dst, src []complex128) {
+	transformInto(dst, src, false)
+}
+
+// IFFTInto computes the inverse DFT (with 1/n normalization) of src into
+// dst under the same aliasing rules as FFTInto.
+func IFFTInto(dst, src []complex128) {
+	transformInto(dst, src, true)
+}
+
+func transformInto(dst, src []complex128, inverse bool) {
+	n := len(src)
+	if len(dst) != n {
+		panic("dsp: FFTInto length mismatch")
+	}
+	if n == 0 {
 		return
 	}
+	if n == 1 {
+		dst[0] = src[0]
+		return
+	}
+	sp := telemetry.StartSpan(metFFTTime)
 	if IsPow2(n) {
-		radix2(x, inverse)
+		p := radix2PlanFor(n)
+		if &dst[0] == &src[0] {
+			p.inPlace(dst, inverse)
+		} else {
+			p.into(dst, src, inverse)
+		}
 	} else {
-		bluestein(x, inverse)
+		bluesteinPlanFor(n).into(dst, src, inverse)
 	}
 	if inverse {
 		s := complex(1/float64(n), 0)
-		for i := range x {
-			x[i] *= s
+		for i := range dst {
+			dst[i] *= s
 		}
 	}
-}
-
-// radix2 performs an unnormalized in-place radix-2 DIT FFT. len(x) must be a
-// power of two.
-func radix2(x []complex128, inverse bool) {
-	n := len(x)
-	// Bit-reversal permutation.
-	for i, j := 1, 0; i < n; i++ {
-		bit := n >> 1
-		for ; j&bit != 0; bit >>= 1 {
-			j ^= bit
-		}
-		j ^= bit
-		if i < j {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for length := 2; length <= n; length <<= 1 {
-		ang := sign * Tau / float64(length)
-		wl := cmplx.Rect(1, ang)
-		for i := 0; i < n; i += length {
-			w := complex(1, 0)
-			half := length / 2
-			for j := 0; j < half; j++ {
-				u := x[i+j]
-				v := x[i+j+half] * w
-				x[i+j] = u + v
-				x[i+j+half] = u - v
-				w *= wl
-			}
-		}
-	}
-}
-
-// bluestein computes an unnormalized DFT of arbitrary length via the
-// chirp-z transform, using two power-of-two FFT convolutions.
-func bluestein(x []complex128, inverse bool) {
-	n := len(x)
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	// Chirp w[k] = exp(sign*iπk²/n). k² mod 2n avoids precision loss for
-	// large k.
-	chirp := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		kk := (int64(k) * int64(k)) % int64(2*n)
-		chirp[k] = cmplx.Rect(1, sign*math.Pi*float64(kk)/float64(n))
-	}
-	m := NextPow2(2*n - 1)
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * chirp[k]
-	}
-	b[0] = cmplx.Conj(chirp[0])
-	for k := 1; k < n; k++ {
-		c := cmplx.Conj(chirp[k])
-		b[k] = c
-		b[m-k] = c
-	}
-	radix2(a, false)
-	radix2(b, false)
-	for i := range a {
-		a[i] *= b[i]
-	}
-	radix2(a, true)
-	inv := complex(1/float64(m), 0) // undo unnormalized inverse
-	for k := 0; k < n; k++ {
-		x[k] = a[k] * inv * chirp[k]
-	}
+	sp.End()
 }
 
 // RFFT computes the DFT of a real sequence, returning the full complex
-// spectrum (length len(x)).
+// spectrum (length len(x)). Even lengths use the half-size packing trick:
+// the real sequence is folded into a complex sequence of half the length,
+// transformed once, and the spectrum unpacked from the fold's conjugate
+// symmetry — roughly halving the work of the naive real-as-complex path.
 func RFFT(x []float64) []complex128 {
-	return FFT(ToComplex(x))
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n%2 != 0 || n < 4 {
+		return FFT(ToComplex(x))
+	}
+	h := n / 2
+	s := getScratch(h)
+	z := s.buf
+	for k := 0; k < h; k++ {
+		z[k] = complex(x[2*k], x[2*k+1])
+	}
+	FFTInto(z, z)
+
+	// Unpack: with Z the half-size DFT of z[k] = x[2k] + i·x[2k+1],
+	//   Xe[k] = (Z[k] + conj(Z[h-k]))/2        (spectrum of the even samples)
+	//   Xo[k] = (Z[k] - conj(Z[h-k]))/(2i)     (spectrum of the odd samples)
+	//   X[k]  = Xe[k] + e^{-2πik/n}·Xo[k]
+	// and the upper half follows from real-input conjugate symmetry.
+	out := make([]complex128, n)
+	var tw []complex128 // e^{-2πik/n} for k < h; the radix-2 table when cached
+	if IsPow2(n) {
+		tw = radix2PlanFor(n).wFwd
+	}
+	for k := 1; k < h; k++ {
+		ze := (z[k] + cmplx.Conj(z[h-k])) * 0.5
+		zo := (z[k] - cmplx.Conj(z[h-k])) * complex(0, -0.5)
+		var w complex128
+		if tw != nil {
+			w = tw[k]
+		} else {
+			w = cmplx.Rect(1, -Tau*float64(k)/float64(n))
+		}
+		out[k] = ze + w*zo
+	}
+	out[0] = complex(real(z[0])+imag(z[0]), 0)
+	out[h] = complex(real(z[0])-imag(z[0]), 0)
+	for k := 1; k < h; k++ {
+		out[n-k] = cmplx.Conj(out[k])
+	}
+	putScratch(s)
+	return out
 }
 
 // FFTFreqs returns the frequency in hertz of each DFT bin for an n-point
@@ -157,44 +147,57 @@ func FFTShift(x []complex128) []complex128 {
 }
 
 // Convolve returns the full linear convolution of a and b
-// (length len(a)+len(b)-1) computed via FFT.
+// (length len(a)+len(b)-1) computed via FFT. The forward transforms run on
+// pooled scratch buffers, so only the returned slice is allocated.
 func Convolve(a, b []complex128) []complex128 {
 	if len(a) == 0 || len(b) == 0 {
 		return nil
 	}
 	n := len(a) + len(b) - 1
 	m := NextPow2(n)
-	fa := make([]complex128, m)
-	fb := make([]complex128, m)
+	p := radix2PlanFor(m)
+	sa, sb := getScratch(m), getScratch(m)
+	fa, fb := sa.buf, sb.buf
 	copy(fa, a)
+	for i := len(a); i < m; i++ {
+		fa[i] = 0
+	}
 	copy(fb, b)
-	radix2(fa, false)
-	radix2(fb, false)
+	for i := len(b); i < m; i++ {
+		fb[i] = 0
+	}
+	p.inPlace(fa, false)
+	p.inPlace(fb, false)
 	for i := range fa {
 		fa[i] *= fb[i]
 	}
-	radix2(fa, true)
+	p.inPlace(fa, true)
 	inv := complex(1/float64(m), 0)
 	out := make([]complex128, n)
 	for i := range out {
 		out[i] = fa[i] * inv
 	}
+	putScratch(sa)
+	putScratch(sb)
 	return out
 }
 
 // PowerSpectrum returns |FFT(x)|²/n for each bin, a periodogram estimate of
 // the power spectral density scaled so that the sum over bins equals the
-// signal power.
+// signal power. The spectrum lives in a pooled scratch buffer; only the
+// returned real slice is allocated.
 func PowerSpectrum(x []complex128) []float64 {
 	n := len(x)
 	if n == 0 {
 		return nil
 	}
-	s := FFT(x)
+	sc := getScratch(n)
+	FFTInto(sc.buf, x)
 	ps := make([]float64, n)
 	inv := 1 / (float64(n) * float64(n))
-	for i, v := range s {
+	for i, v := range sc.buf {
 		ps[i] = (real(v)*real(v) + imag(v)*imag(v)) * inv
 	}
+	putScratch(sc)
 	return ps
 }

@@ -1,0 +1,207 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"sync"
+)
+
+// FFT plan cache. Every transform size seen at runtime gets one immutable
+// plan — precomputed bit-reversal permutation and twiddle tables for
+// radix-2 sizes, plus the chirp and its forward spectrum for Bluestein
+// sizes — shared by all goroutines through a sync.Map. Plans are built once
+// (a cache miss) and only read afterwards, so concurrent FFTs never
+// contend; the scratch buffers the transforms need come from a sync.Pool,
+// making the steady-state hot path allocation-free.
+
+// radix2Plan holds the precomputed tables for one power-of-two transform
+// size. Immutable after construction; safe for concurrent use.
+type radix2Plan struct {
+	n    int
+	perm []int32      // bit-reversal permutation (an involution)
+	wFwd []complex128 // wFwd[k] = exp(-2πik/n), k < n/2
+	wInv []complex128 // conjugate twiddles for the inverse transform
+}
+
+func newRadix2Plan(n int) *radix2Plan {
+	p := &radix2Plan{
+		n:    n,
+		perm: make([]int32, n),
+		wFwd: make([]complex128, n/2),
+		wInv: make([]complex128, n/2),
+	}
+	for i := 1; i < n; i++ {
+		p.perm[i] = p.perm[i>>1]>>1 | int32(i&1)*int32(n>>1)
+	}
+	for k := 0; k < n/2; k++ {
+		w := cmplx.Rect(1, -Tau*float64(k)/float64(n))
+		p.wFwd[k] = w
+		p.wInv[k] = cmplx.Conj(w)
+	}
+	return p
+}
+
+// inPlace runs the unnormalized transform on x (len must equal p.n).
+func (p *radix2Plan) inPlace(x []complex128, inverse bool) {
+	for i := 1; i < p.n; i++ {
+		if j := int(p.perm[i]); i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	p.butterflies(x, inverse)
+}
+
+// into runs the unnormalized transform of src into dst (equal lengths,
+// non-overlapping unless identical).
+func (p *radix2Plan) into(dst, src []complex128, inverse bool) {
+	for i := 0; i < p.n; i++ {
+		dst[i] = src[p.perm[i]]
+	}
+	p.butterflies(dst, inverse)
+}
+
+func (p *radix2Plan) butterflies(x []complex128, inverse bool) {
+	n := p.n
+	tw := p.wFwd
+	if inverse {
+		tw = p.wInv
+	}
+	for length := 2; length <= n; length <<= 1 {
+		half := length >> 1
+		stride := n / length
+		for i := 0; i < n; i += length {
+			ti := 0
+			for j := i; j < i+half; j++ {
+				u := x[j]
+				v := x[j+half] * tw[ti]
+				x[j] = u + v
+				x[j+half] = u - v
+				ti += stride
+			}
+		}
+	}
+}
+
+// bluesteinPlan holds the precomputed chirp tables and convolution kernels
+// for one arbitrary-length transform size, plus the radix-2 plan of the
+// padded convolution length. Immutable after construction.
+type bluesteinPlan struct {
+	n, m     int
+	pad      *radix2Plan
+	chirpFwd []complex128 // exp(-iπk²/n), k < n
+	chirpInv []complex128 // conjugates, for the inverse transform
+	bFwd     []complex128 // forward FFT of the conj-chirp kernel (length m)
+	bInv     []complex128 // same for the inverse transform's kernel
+}
+
+func newBluesteinPlan(n int) *bluesteinPlan {
+	m := NextPow2(2*n - 1)
+	p := &bluesteinPlan{
+		n: n, m: m, pad: radix2PlanFor(m),
+		chirpFwd: make([]complex128, n),
+		chirpInv: make([]complex128, n),
+	}
+	for k := 0; k < n; k++ {
+		// k² mod 2n avoids precision loss for large k.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		c := cmplx.Rect(1, -math.Pi*float64(kk)/float64(n))
+		p.chirpFwd[k] = c
+		p.chirpInv[k] = cmplx.Conj(c)
+	}
+	p.bFwd = p.kernelSpectrum(p.chirpFwd)
+	p.bInv = p.kernelSpectrum(p.chirpInv)
+	return p
+}
+
+// kernelSpectrum builds the circular-convolution kernel b (the conjugated
+// chirp, wrapped) and returns its forward FFT.
+func (p *bluesteinPlan) kernelSpectrum(chirp []complex128) []complex128 {
+	b := make([]complex128, p.m)
+	b[0] = cmplx.Conj(chirp[0])
+	for k := 1; k < p.n; k++ {
+		c := cmplx.Conj(chirp[k])
+		b[k] = c
+		b[p.m-k] = c
+	}
+	p.pad.inPlace(b, false)
+	return b
+}
+
+// into computes the unnormalized DFT of src into dst (both length p.n; dst
+// may alias src).
+func (p *bluesteinPlan) into(dst, src []complex128, inverse bool) {
+	chirp, kern := p.chirpFwd, p.bFwd
+	if inverse {
+		chirp, kern = p.chirpInv, p.bInv
+	}
+	s := getScratch(p.m)
+	a := s.buf
+	for k := 0; k < p.n; k++ {
+		a[k] = src[k] * chirp[k]
+	}
+	for k := p.n; k < p.m; k++ {
+		a[k] = 0
+	}
+	p.pad.inPlace(a, false)
+	for i := range a {
+		a[i] *= kern[i]
+	}
+	p.pad.inPlace(a, true)
+	inv := complex(1/float64(p.m), 0) // undo unnormalized inverse
+	for k := 0; k < p.n; k++ {
+		dst[k] = a[k] * inv * chirp[k]
+	}
+	putScratch(s)
+}
+
+// Plan caches, keyed by transform size. sync.Map fits the access pattern
+// exactly: written once per size, read on every transform thereafter.
+var (
+	radix2Plans    sync.Map // int → *radix2Plan
+	bluesteinPlans sync.Map // int → *bluesteinPlan
+)
+
+func radix2PlanFor(n int) *radix2Plan {
+	if v, ok := radix2Plans.Load(n); ok {
+		metPlanHits.Inc()
+		return v.(*radix2Plan)
+	}
+	metPlanMisses.Inc()
+	p := newRadix2Plan(n)
+	if v, loaded := radix2Plans.LoadOrStore(n, p); loaded {
+		return v.(*radix2Plan)
+	}
+	return p
+}
+
+func bluesteinPlanFor(n int) *bluesteinPlan {
+	if v, ok := bluesteinPlans.Load(n); ok {
+		metPlanHits.Inc()
+		return v.(*bluesteinPlan)
+	}
+	metPlanMisses.Inc()
+	p := newBluesteinPlan(n)
+	if v, loaded := bluesteinPlans.LoadOrStore(n, p); loaded {
+		return v.(*bluesteinPlan)
+	}
+	return p
+}
+
+// scratch is a pooled work buffer. Holding the slice inside a pooled struct
+// (rather than Put-ting the slice directly) keeps the steady state free of
+// even the interface-boxing allocation.
+type scratch struct{ buf []complex128 }
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// getScratch returns a pooled buffer of length n with arbitrary contents.
+func getScratch(n int) *scratch {
+	s := scratchPool.Get().(*scratch)
+	if cap(s.buf) < n {
+		s.buf = make([]complex128, n)
+	}
+	s.buf = s.buf[:n]
+	return s
+}
+
+func putScratch(s *scratch) { scratchPool.Put(s) }

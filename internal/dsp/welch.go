@@ -34,8 +34,8 @@ func WelchPSD(x []complex128, nfft int, w Window) ([]float64, error) {
 		for i := 0; i < nfft; i++ {
 			seg[i] = x[off+i] * complex(win[i], 0)
 		}
-		s := FFT(seg)
-		for i, v := range s {
+		FFTInto(seg, seg) // windowed copy is rebuilt next pass anyway
+		for i, v := range seg {
 			out[i] += real(v)*real(v) + imag(v)*imag(v)
 		}
 		count++

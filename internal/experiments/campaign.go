@@ -36,8 +36,17 @@ func e10Campaign(opts Options) (*Result, error) {
 	res := &Result{ID: "E10", Title: "Trial campaign", Kind: "table", Table: t,
 		Metrics: map[string]float64{}}
 
-	totalTrials := 0
-	okAt300 := math.NaN()
+	// The campaign cells are mutually independent, so they are enumerated
+	// first (preserving the historical seed sequence exactly) and then run
+	// through the sim worker pool; aggregation below walks the ordered
+	// results, so the table is bit-identical at any worker count.
+	type cellMeta struct {
+		envName string
+		deg     float64
+		rangeM  float64
+	}
+	var cfgs []sim.TrialConfig
+	var metas []cellMeta
 	seed := opts.Seed
 	for _, spec := range specs {
 		d := newVanAtta(spec.env, core.DefaultNodeElements)
@@ -47,20 +56,28 @@ func e10Campaign(opts Options) (*Result, error) {
 			b.Orientation = deg * math.Pi / 180
 			for _, r := range spec.ranges {
 				seed += 7
-				cell, err := sim.RunCell(sim.TrialConfig{
+				cfgs = append(cfgs, sim.TrialConfig{
 					Budget: b, RangeM: r, Trials: trialsPerCell,
 					ChipsPerTrial: chipsPerFrame, Seed: seed,
 				})
-				if err != nil {
-					return nil, err
-				}
-				totalTrials += cell.Trials
-				t.AddRowf(spec.envName, r, deg, cell.Trials, cell.BER, cell.BERHigh,
-					100*(1-cell.FrameLoss))
-				if spec.envName == "river" && r == 300 && deg == 0 {
-					okAt300 = 1 - cell.FrameLoss
-				}
+				metas = append(metas, cellMeta{spec.envName, deg, r})
 			}
+		}
+	}
+	cells, err := sim.RunCells(cfgs, opts.workers())
+	if err != nil {
+		return nil, err
+	}
+
+	totalTrials := 0
+	okAt300 := math.NaN()
+	for i, cell := range cells {
+		m := metas[i]
+		totalTrials += cell.Trials
+		t.AddRowf(m.envName, m.rangeM, m.deg, cell.Trials, cell.BER, cell.BERHigh,
+			100*(1-cell.FrameLoss))
+		if m.envName == "river" && m.rangeM == 300 && m.deg == 0 {
+			okAt300 = 1 - cell.FrameLoss
 		}
 	}
 	t.AddRowf("TOTAL", "", "", totalTrials, "", "", "")

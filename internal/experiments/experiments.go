@@ -14,7 +14,10 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"vab/internal/baseline"
 	"vab/internal/core"
@@ -36,8 +39,9 @@ type Result struct {
 // Options tunes experiment runtime cost. The zero value selects the full
 // paper-scale configuration; benchmarks shrink the trial counts.
 type Options struct {
-	Trials int   // Monte-Carlo frames per cell (0 → default per experiment)
-	Seed   int64 // base RNG seed
+	Trials  int   // Monte-Carlo frames per cell (0 → default per experiment)
+	Seed    int64 // base RNG seed
+	Workers int   // concurrency for Monte-Carlo cells and RunMany (0 → NumCPU, 1 → serial)
 }
 
 func (o Options) trials(def int) int {
@@ -45,6 +49,16 @@ func (o Options) trials(def int) int {
 		return o.Trials
 	}
 	return def
+}
+
+// workers resolves the pool width. Seeded outputs are bit-identical at any
+// width (per-cell seeds own their RNGs), so defaulting to every core is
+// safe — the knob only trades wall-clock against machine load.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
 }
 
 // targetBER is the paper's operating point.
@@ -152,15 +166,61 @@ func Run(id string, opts Options) (*Result, error) {
 	return res, err
 }
 
-// RunAll executes every experiment in ID order.
+// RunAll executes every experiment, returning results in ID order. The
+// experiments are mutually independent (each derives its RNGs from
+// opts.Seed alone), so they run concurrently on opts.Workers goroutines;
+// results and error selection are deterministic regardless of width.
 func RunAll(opts Options) ([]*Result, error) {
-	var out []*Result
-	for _, id := range IDs() {
-		res, err := Run(id, opts)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	return RunMany(IDs(), opts)
+}
+
+// RunMany executes the named experiments concurrently and returns their
+// results in the order the IDs were given. Experiments never share mutable
+// state — every environment preset, design and RNG is built per run — so
+// interleaving them is safe; per-cell seeding keeps each result
+// bit-identical to a serial run. On failure the error of the
+// earliest-listed failing experiment is returned, matching what a serial
+// loop would report.
+func RunMany(ids []string, opts Options) ([]*Result, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	workers := opts.workers()
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	out := make([]*Result, len(ids))
+	errs := make([]error, len(ids))
+	if workers == 1 {
+		for i, id := range ids {
+			res, err := Run(id, opts)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", id, err)
+			}
+			out[i] = res
 		}
-		out = append(out, res)
+		return out, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ids) {
+					return
+				}
+				out[i], errs[i] = Run(ids[i], opts)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", ids[i], err)
+		}
 	}
 	return out, nil
 }
@@ -185,7 +245,7 @@ func E1RangeRiver(opts Options) (*Result, error) {
 	for _, deg := range orientations {
 		bb := *b
 		bb.Orientation = deg * math.Pi / 180
-		cells, err := sim.RangeSweep(&bb, ranges, trials, chipsPerFrame, opts.Seed+int64(deg))
+		cells, err := sim.RangeSweep(&bb, ranges, trials, chipsPerFrame, opts.Seed+int64(deg), opts.workers())
 		if err != nil {
 			return nil, err
 		}
@@ -347,11 +407,11 @@ func E6Ocean(opts Options) (*Result, error) {
 	trials := opts.trials(1000)
 
 	ranges := []float64{25, 50, 75, 100, 150, 200, 250, 300}
-	riverCells, err := sim.RangeSweep(bRiver, ranges, trials, chipsPerFrame, opts.Seed+100)
+	riverCells, err := sim.RangeSweep(bRiver, ranges, trials, chipsPerFrame, opts.Seed+100, opts.workers())
 	if err != nil {
 		return nil, err
 	}
-	seaCells, err := sim.RangeSweep(bSea, ranges, trials, chipsPerFrame, opts.Seed+200)
+	seaCells, err := sim.RangeSweep(bSea, ranges, trials, chipsPerFrame, opts.Seed+200, opts.workers())
 	if err != nil {
 		return nil, err
 	}

@@ -50,6 +50,54 @@ func TestRunAllProducesTables(t *testing.T) {
 	}
 }
 
+// TestWorkersBitIdentity pins the parallel-harness contract at the
+// experiment level: any Workers count must regenerate byte-identical
+// artifacts — same table CSV, same metrics — for the Monte-Carlo-heavy
+// experiments the pool actually parallelizes (E1 sweeps, E6 dual sweeps,
+// the E10 campaign) and for a concurrent RunMany batch.
+func TestWorkersBitIdentity(t *testing.T) {
+	for _, id := range []string{"E1", "E6", "E10"} {
+		serial, err := Run(id, Options{Trials: 60, Seed: 9, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := Run(id, Options{Trials: 60, Seed: 9, Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s, p := serial.Table.CSV(), parallel.Table.CSV(); s != p {
+			t.Errorf("%s: table differs between 1 and 8 workers:\nserial:\n%s\nparallel:\n%s", id, s, p)
+		}
+		if len(serial.Metrics) != len(parallel.Metrics) {
+			t.Errorf("%s: metric count differs", id)
+		}
+		for k, v := range serial.Metrics {
+			if pv, ok := parallel.Metrics[k]; !ok || pv != v {
+				t.Errorf("%s: metric %s = %v parallel vs %v serial", id, k, pv, v)
+			}
+		}
+	}
+
+	// RunMany: concurrent experiment execution preserves order and content.
+	ids := []string{"E2", "E3", "E10"}
+	serial, err := RunMany(ids, Options{Trials: 40, Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunMany(ids, Options{Trials: 40, Seed: 5, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		if serial[i].ID != ids[i] || parallel[i].ID != ids[i] {
+			t.Fatalf("result order broken: %s / %s at %d", serial[i].ID, parallel[i].ID, i)
+		}
+		if serial[i].Table.CSV() != parallel[i].Table.CSV() {
+			t.Errorf("%s: RunMany table differs between widths", ids[i])
+		}
+	}
+}
+
 // TestE1RangeClaim locks the abstract's headline: BER ≤ 1e-3 at 300 m
 // round trip in the river, across orientations.
 func TestE1RangeClaim(t *testing.T) {

@@ -39,6 +39,86 @@ func TestRunCellSeededDeterminism(t *testing.T) {
 	}
 }
 
+// TestRunCellsParallelBitIdentity pins the parallelization contract: a
+// RunCells pool of any width must reproduce the serial sweep outputs
+// exactly, cell by cell, because every cell derives its own RNG from its
+// own seed. This is the test that lets -workers default to NumCPU without
+// renegotiating the seeded-output guarantees PR 1 locked in.
+func TestRunCellsParallelBitIdentity(t *testing.T) {
+	env := ocean.CharlesRiver()
+	d, err := core.NewVanAttaDesign(core.DefaultNodeElements, env, core.DefaultCarrierHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := core.NewLinkBudget(env, d)
+	ranges := []float64{50, 100, 150, 200, 250, 300, 350}
+
+	serial, err := RangeSweep(b, ranges, 300, 392, 17, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8, 32} {
+		parallel, err := RangeSweep(b, ranges, 300, 392, 17, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parallel) != len(serial) {
+			t.Fatalf("workers=%d: %d cells, want %d", workers, len(parallel), len(serial))
+		}
+		for i := range serial {
+			if parallel[i] != serial[i] {
+				t.Errorf("workers=%d cell %d diverged:\n  serial %+v\nparallel %+v",
+					workers, i, serial[i], parallel[i])
+			}
+		}
+	}
+
+	// OrientationSweep under the same contract.
+	thetas := []float64{0, 0.3, 0.6, 0.9}
+	oSerial, err := OrientationSweep(b, 150, thetas, 200, 392, 23, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oParallel, err := OrientationSweep(b, 150, thetas, 200, 392, 23, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range oSerial {
+		if oParallel[i] != oSerial[i] {
+			t.Errorf("orientation cell %d diverged under 4 workers", i)
+		}
+	}
+}
+
+// TestRunCellsErrorDeterministic verifies that a failing batch reports the
+// lowest-index error at any pool width, matching serial behavior.
+func TestRunCellsErrorDeterministic(t *testing.T) {
+	env := ocean.CharlesRiver()
+	d, err := core.NewVanAttaDesign(core.DefaultNodeElements, env, core.DefaultCarrierHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := core.NewLinkBudget(env, d)
+	cfgs := make([]TrialConfig, 6)
+	for i := range cfgs {
+		cfgs[i] = TrialConfig{Budget: b, RangeM: 100, Trials: 50, ChipsPerTrial: 100, Seed: int64(i)}
+	}
+	cfgs[2].Trials = 0 // invalid
+	cfgs[5].Trials = 0 // invalid, higher index
+	var want string
+	for _, workers := range []int{1, 2, 8} {
+		_, err := RunCells(cfgs, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: invalid cell accepted", workers)
+		}
+		if want == "" {
+			want = err.Error()
+		} else if err.Error() != want {
+			t.Errorf("workers=%d: error %q, want %q", workers, err.Error(), want)
+		}
+	}
+}
+
 // TestRunCellDeterminismUnderTelemetry verifies the telemetry contract:
 // instrumenting the harness observes counters but never perturbs the
 // seeded trial stream.

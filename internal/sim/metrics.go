@@ -7,12 +7,14 @@ import "vab/internal/telemetry"
 // none of this touches the trial RNG, so seeded outputs are bit-identical
 // with telemetry on or off.
 var (
-	metTrials     *telemetry.Counter
-	metChips      *telemetry.Counter
-	metChipErrors *telemetry.Counter
-	metLostFrames *telemetry.Counter
-	metCells      *telemetry.Counter
-	metCellTime   *telemetry.Histogram
+	metTrials      *telemetry.Counter
+	metChips       *telemetry.Counter
+	metChipErrors  *telemetry.Counter
+	metLostFrames  *telemetry.Counter
+	metCells       *telemetry.Counter
+	metCellTime    *telemetry.Histogram
+	metPoolWorkers *telemetry.Gauge
+	metPoolCells   *telemetry.Counter
 )
 
 // Instrument registers Monte-Carlo harness metrics in reg and starts
@@ -34,4 +36,8 @@ func Instrument(reg *telemetry.Registry) {
 		"Monte-Carlo cells completed.")
 	metCellTime = reg.Histogram("vab_sim_cell_seconds",
 		"Wall time of one Monte-Carlo cell.", nil)
+	metPoolWorkers = reg.Gauge("vab_sim_pool_workers",
+		"Worker count of the most recent parallel RunCells batch.")
+	metPoolCells = reg.Counter("vab_sim_pool_cells_total",
+		"Monte-Carlo cells completed through the parallel pool.")
 }

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RunCells executes a batch of independent Monte-Carlo cells on a bounded
+// worker pool and returns the results in input order. Every cell carries
+// its own seed and owns its RNG for the duration of the run, so the output
+// is bit-identical to running the cells serially — the worker count only
+// changes wall-clock time, never a single drawn sample. workers <= 0
+// selects runtime.NumCPU(); workers == 1 runs inline with no goroutines.
+//
+// On error the lowest-index failure is returned (the same one a serial run
+// would hit first), so error behavior is deterministic too.
+func RunCells(cfgs []TrialConfig, workers int) ([]CellResult, error) {
+	if len(cfgs) == 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	out := make([]CellResult, len(cfgs))
+	if workers == 1 {
+		for i := range cfgs {
+			r, err := RunCell(cfgs[i])
+			if err != nil {
+				return nil, fmt.Errorf("sim: cell %d: %w", i, err)
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	metPoolWorkers.Set(float64(workers))
+	errs := make([]error, len(cfgs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cfgs) {
+					return
+				}
+				out[i], errs[i] = RunCell(cfgs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sim: cell %d: %w", i, err)
+		}
+	}
+	metPoolCells.Add(int64(len(cfgs)))
+	return out, nil
+}

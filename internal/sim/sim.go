@@ -139,53 +139,62 @@ func binomial(n int, p float64, rng *rand.Rand) int {
 		}
 		return 0
 	}
-	// Geometric skipping: count successes by jumping over failures.
+	return geometricBinomial(n, math.Log1p(-p), rng.Float64)
+}
+
+// geometricBinomial counts successes by geometric skipping over failures:
+// each uniform draw u yields floor(log(u)/log(1-p)) failures before the
+// next success. Factored out so the u == 0 boundary is unit-testable
+// without hunting for a seed whose Float64 stream hits exactly zero.
+func geometricBinomial(n int, lq float64, next func() float64) int {
 	k := 0
 	i := 0
-	lq := math.Log1p(-p)
 	for {
-		skip := int(math.Floor(math.Log(rng.Float64()) / lq))
-		i += skip + 1
+		u := next()
+		if u <= 0 {
+			// Float64 draws from [0, 1), so u can be exactly 0. log(0) is
+			// -Inf and the resulting +Inf skip has no defined int
+			// conversion; by continuity (u → 0⁺ means an unbounded failure
+			// run) the draw skips past the block, ending the count.
+			return k
+		}
+		i += int(math.Floor(math.Log(u)/lq)) + 1
 		if i > n {
-			break
+			return k
 		}
 		k++
 	}
-	return k
 }
 
 // RangeSweep runs cells across a set of ranges with a shared budget,
-// deriving per-cell seeds deterministically from the base seed.
-func RangeSweep(b *core.LinkBudget, ranges []float64, trials, chipsPerTrial int, seed int64) ([]CellResult, error) {
-	out := make([]CellResult, 0, len(ranges))
+// deriving per-cell seeds deterministically from the base seed. The cells
+// run on a RunCells pool of the given width (0 → NumCPU, 1 → serial); the
+// results are bit-identical at every worker count since each cell owns its
+// seed. The budget is only read, so sharing it across workers is safe.
+func RangeSweep(b *core.LinkBudget, ranges []float64, trials, chipsPerTrial int, seed int64, workers int) ([]CellResult, error) {
+	cfgs := make([]TrialConfig, len(ranges))
 	for i, r := range ranges {
-		cell, err := RunCell(TrialConfig{
+		cfgs[i] = TrialConfig{
 			Budget: b, RangeM: r, Trials: trials,
 			ChipsPerTrial: chipsPerTrial, Seed: seed + int64(i)*7919,
-		})
-		if err != nil {
-			return nil, err
 		}
-		out = append(out, cell)
 	}
-	return out, nil
+	return RunCells(cfgs, workers)
 }
 
-// OrientationSweep runs cells across node orientations at a fixed range.
-// The budget is copied per cell so the caller's budget is untouched.
-func OrientationSweep(b *core.LinkBudget, rangeM float64, thetas []float64, trials, chipsPerTrial int, seed int64) ([]CellResult, error) {
-	out := make([]CellResult, 0, len(thetas))
+// OrientationSweep runs cells across node orientations at a fixed range on
+// a RunCells pool (see RangeSweep for the worker contract). The budget is
+// copied per cell so the caller's budget is untouched and no two workers
+// share a mutable budget.
+func OrientationSweep(b *core.LinkBudget, rangeM float64, thetas []float64, trials, chipsPerTrial int, seed int64, workers int) ([]CellResult, error) {
+	cfgs := make([]TrialConfig, len(thetas))
 	for i, th := range thetas {
 		bb := *b
 		bb.Orientation = th
-		cell, err := RunCell(TrialConfig{
+		cfgs[i] = TrialConfig{
 			Budget: &bb, RangeM: rangeM, Trials: trials,
 			ChipsPerTrial: chipsPerTrial, Seed: seed + int64(i)*104729,
-		})
-		if err != nil {
-			return nil, err
 		}
-		out = append(out, cell)
 	}
-	return out, nil
+	return RunCells(cfgs, workers)
 }

@@ -158,10 +158,38 @@ func TestBinomialStatisticsProperty(t *testing.T) {
 	}
 }
 
+// TestGeometricBinomialZeroDraw pins the u == 0 boundary: rand.Float64
+// draws from [0, 1), and log(0) = -Inf used to leave the geometric skip
+// undefined (a float→int conversion of +Inf). A zero draw must terminate
+// the count — it is the u → 0⁺ limit of an unbounded failure run — and
+// never loop or return an out-of-range count.
+func TestGeometricBinomialZeroDraw(t *testing.T) {
+	lq := math.Log1p(-0.01) // p = 0.01
+
+	// Zero on the very first draw: no successes land.
+	if k := geometricBinomial(1000, lq, func() float64 { return 0 }); k != 0 {
+		t.Errorf("immediate zero draw: k = %d, want 0", k)
+	}
+
+	// Zero after a few successes: the count up to the zero draw survives.
+	draws := []float64{0.5, 0.5, 0}
+	i := 0
+	next := func() float64 { v := draws[i]; i++; return v }
+	k := geometricBinomial(1000, lq, next)
+	if k != 2 {
+		t.Errorf("zero after two successes: k = %d, want 2", k)
+	}
+
+	// The result must stay in [0, n] even when every draw is pathological.
+	if k := geometricBinomial(3, lq, func() float64 { return math.SmallestNonzeroFloat64 }); k < 0 || k > 3 {
+		t.Errorf("denormal draws: k = %d out of [0, 3]", k)
+	}
+}
+
 func TestRangeSweepShape(t *testing.T) {
 	b := riverBudget(t)
 	ranges := []float64{50, 150, 300, 450}
-	cells, err := RangeSweep(b, ranges, 500, 200, 11)
+	cells, err := RangeSweep(b, ranges, 500, 200, 11, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +214,7 @@ func TestRangeSweepShape(t *testing.T) {
 func TestOrientationSweepDoesNotMutateBudget(t *testing.T) {
 	b := riverBudget(t)
 	before := b.Orientation
-	cells, err := OrientationSweep(b, 100, []float64{0, 0.5, 1.0}, 100, 100, 3)
+	cells, err := OrientationSweep(b, 100, []float64{0, 0.5, 1.0}, 100, 100, 3, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
