@@ -7,6 +7,7 @@
 //	vabbench                     # writes BENCH_<yyyy-mm-dd>.json
 //	vabbench -out bench.json     # explicit path ("-" for stdout)
 //	vabbench -time 0.2           # seconds per workload (default 1)
+//	vabbench -compare prev.json  # diff against a previous snapshot
 //
 // Each workload is timed with its own calibration loop (run once, then
 // scale iterations to fill the time budget) and reports ns/op plus
@@ -25,6 +26,7 @@ import (
 	"runtime"
 	"time"
 
+	"vab/internal/channel"
 	"vab/internal/core"
 	"vab/internal/dsp"
 	"vab/internal/experiments"
@@ -88,6 +90,7 @@ func measure(name string, budget float64, f func()) result {
 func main() {
 	out := flag.String("out", "", `output path (default BENCH_<yyyy-mm-dd>.json, "-" for stdout)`)
 	budget := flag.Float64("time", 1.0, "seconds of measurement per workload")
+	compare := flag.String("compare", "", "previous vabbench snapshot to diff against (warns on >20% ns/op regressions)")
 	flag.Parse()
 
 	env := ocean.CharlesRiver()
@@ -112,6 +115,49 @@ func main() {
 			Budget: budgetTier, RangeM: 100 + 20*float64(i), Trials: 100,
 			ChipsPerTrial: 392, Seed: int64(i + 1),
 		}
+	}
+
+	// Channel-layer workloads: the steady-state round pipeline. One link,
+	// reused buffers, a rebuild per round — the shape core.System drives.
+	linkCfg := channel.Config{
+		Env: env, CarrierHz: 18.5e3, SampleRate: 16e3,
+		ReaderDepth: 1.6, NodeDepth: 2.4, Range: 100,
+		SelfInterferenceDB: -30, ColoredNoise: true, Seed: 1,
+	}
+	lnk, err := channel.New(linkCfg)
+	if err != nil {
+		fatal(err)
+	}
+	const chN = 16384
+	chTx := make([]complex128, chN)
+	chGamma := make([]complex128, chN)
+	chDst := make([]complex128, chN)
+	for i := range chTx {
+		chTx[i] = complex(1e9, 0)
+		chGamma[i] = complex(float64(i%2), 0)
+	}
+	linkGeom := channel.Geometry{ReaderDepth: 1.61, NodeDepth: 2.39, Range: 100.02}
+	var linkSeed int64
+
+	// TDL engine crossover: identical sparse kernels through both engines.
+	tdlRng := rand.New(rand.NewSource(2))
+	mkTaps := func(n int) []channel.Tap {
+		taps := make([]channel.Tap, n)
+		for i := range taps {
+			taps[i] = channel.Tap{
+				DelaySamples: 500 + tdlRng.Float64()*400,
+				Gain:         complex(tdlRng.NormFloat64(), tdlRng.NormFloat64()),
+			}
+		}
+		return taps
+	}
+	tdlX := dsp.GaussianNoise(make([]complex128, chN), 1, tdlRng)
+	tdlDst := make([]complex128, chN)
+	tdls := map[string]*channel.TDL{}
+	for _, n := range []int{4, 16, 64} {
+		taps := mkTaps(n)
+		tdls[fmt.Sprintf("time_%dtaps", n)] = channel.NewTDL(taps, false)
+		tdls[fmt.Sprintf("freq_%dtaps", n)] = channel.NewTDL(taps, true)
 	}
 
 	workloads := []struct {
@@ -147,6 +193,29 @@ func main() {
 				fatal(err)
 			}
 		}},
+		{"link_rebuild", func() {
+			linkSeed++
+			if err := lnk.Rebuild(linkGeom, linkSeed); err != nil {
+				fatal(err)
+			}
+		}},
+		{"channel_roundtrip_into_16k", func() {
+			if _, err := lnk.RoundTripInto(chDst, chTx, chGamma, complex(0.1, 0)); err != nil {
+				fatal(err)
+			}
+		}},
+		{"channel_roundtrip_alloc_16k", func() {
+			if _, err := lnk.RoundTrip(chTx, chGamma, complex(0.1, 0)); err != nil {
+				fatal(err)
+			}
+		}},
+		{"uplink_noise_into_16k", func() { lnk.UplinkInto(chDst, chTx, chTx) }},
+		{"tdl_time_4taps_16k", func() { tdls["time_4taps"].Apply(tdlDst, tdlX) }},
+		{"tdl_freq_4taps_16k", func() { tdls["freq_4taps"].Apply(tdlDst, tdlX) }},
+		{"tdl_time_16taps_16k", func() { tdls["time_16taps"].Apply(tdlDst, tdlX) }},
+		{"tdl_freq_16taps_16k", func() { tdls["freq_16taps"].Apply(tdlDst, tdlX) }},
+		{"tdl_time_64taps_16k", func() { tdls["time_64taps"].Apply(tdlDst, tdlX) }},
+		{"tdl_freq_64taps_16k", func() { tdls["freq_64taps"].Apply(tdlDst, tdlX) }},
 	}
 
 	rep := report{
@@ -172,12 +241,61 @@ func main() {
 	enc = append(enc, '\n')
 	if path == "-" {
 		os.Stdout.Write(enc)
+	} else {
+		if err := os.WriteFile(path, enc, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "vabbench: wrote %s\n", path)
+	}
+	if *compare != "" {
+		compareSnapshots(*compare, rep)
+	}
+}
+
+// compareSnapshots diffs the current report against a previous snapshot and
+// warns (without failing: machines differ, CI boxes are noisy) when a shared
+// workload regressed by more than 20% in ns/op. New or removed workloads are
+// reported informationally.
+func compareSnapshots(prevPath string, cur report) {
+	data, err := os.ReadFile(prevPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vabbench: compare: %v (skipping)\n", err)
 		return
 	}
-	if err := os.WriteFile(path, enc, 0o644); err != nil {
-		fatal(err)
+	var prev report
+	if err := json.Unmarshal(data, &prev); err != nil {
+		fmt.Fprintf(os.Stderr, "vabbench: compare: %s: %v (skipping)\n", prevPath, err)
+		return
 	}
-	fmt.Fprintf(os.Stderr, "vabbench: wrote %s\n", path)
+	prevBy := make(map[string]result, len(prev.Results))
+	for _, r := range prev.Results {
+		prevBy[r.Name] = r
+	}
+	warned := 0
+	for _, r := range cur.Results {
+		p, ok := prevBy[r.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "vabbench: compare %-28s new workload (no baseline)\n", r.Name)
+			continue
+		}
+		if p.NsPerOp <= 0 {
+			continue
+		}
+		delta := (r.NsPerOp/p.NsPerOp - 1) * 100
+		tag := ""
+		switch {
+		case delta > 20:
+			tag = "  WARN: >20% regression"
+			warned++
+		case delta < -20:
+			tag = "  (improved)"
+		}
+		fmt.Fprintf(os.Stderr, "vabbench: compare %-28s %12.0f -> %12.0f ns/op (%+6.1f%%)%s\n",
+			r.Name, p.NsPerOp, r.NsPerOp, delta, tag)
+	}
+	if warned > 0 {
+		fmt.Fprintf(os.Stderr, "vabbench: compare: %d workload(s) regressed >20%% vs %s\n", warned, prevPath)
+	}
 }
 
 func fatal(err error) {

@@ -17,6 +17,7 @@ import (
 	"syscall"
 	"time"
 
+	"vab/internal/channel"
 	"vab/internal/core"
 	"vab/internal/dsp"
 	"vab/internal/gateway"
@@ -90,6 +91,7 @@ func main() {
 		}
 		defer ops.Close()
 		dsp.Instrument(reg)
+		channel.Instrument(reg)
 		fleet.Instrument(reg)
 		srv.Instrument(reg)
 		log.Printf("vabgw: metrics on http://%s/metrics", ops.Addr())

@@ -16,8 +16,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
+	"vab/internal/channel"
 	"vab/internal/dsp"
 	"vab/internal/experiments"
 	"vab/internal/sim"
@@ -32,7 +34,20 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	list := flag.Bool("list", false, "list the experiment inventory and exit")
 	metricsAddr := flag.String("metrics", "", "ops endpoint address for /metrics, /healthz and pprof during the run (empty = telemetry off)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (seeded output is unaffected)")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	// Telemetry is off (free no-ops) unless -metrics names an ops address;
 	// the seeded Monte-Carlo outputs are bit-identical either way. The
@@ -46,6 +61,7 @@ func main() {
 		}
 		defer ops.Close()
 		dsp.Instrument(reg)
+		channel.Instrument(reg)
 		sim.Instrument(reg)
 		experiments.Instrument(reg)
 		fmt.Fprintf(os.Stderr, "vabsim: metrics on http://%s/metrics\n", ops.Addr())

@@ -8,12 +8,25 @@
 // with the dB re 1 µPa conventions of the ocean package: a projector with
 // source level SL dB re 1 µPa @ 1 m transmits an envelope of magnitude
 // 10^(SL/20).
+//
+// # Steady-state allocation discipline
+//
+// The round pipeline is built to allocate nothing once warmed up. Every
+// waveform entry point has an *Into form (DownlinkInto, UplinkInto,
+// RoundTripInto) writing into caller buffers; internal scratch lives in a
+// per-Link workspace that grows to the working frame size and is then
+// reused; and Rebuild re-derives a swayed geometry in place instead of
+// constructing a new Link, reusing the arrival, tap and filter storage.
+// The allocating forms (Downlink, Uplink, RoundTrip, New) remain as
+// conveniences and delegate to the *Into/Rebuild machinery, so both paths
+// compute bit-identical waveforms.
 package channel
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"vab/internal/dsp"
 	"vab/internal/ocean"
@@ -57,25 +70,55 @@ type Config struct {
 	// DisableFading freezes the channel in time.
 	DisableFading bool
 
+	// FrequencyDomainTDL switches Downlink/Uplink to the overlap-save
+	// block-convolution engine (see TDL). It is opt-in because FFT
+	// rounding differs from the reference time-domain arithmetic at the
+	// ~1e-13 relative level, which would perturb the seeded experiment
+	// transcripts; the default time-domain path is bit-identical to the
+	// historical implementation. Worth enabling only for dense delay
+	// lines (tens of taps) — see the TDL benchmarks for the crossover.
+	FrequencyDomainTDL bool
+
 	Seed int64
 }
 
+// Geometry is the sway-jittered placement Rebuild applies to an existing
+// link: the three quantities that change round to round while the
+// environment, carrier and noise model stay fixed.
+type Geometry struct {
+	ReaderDepth float64 // m
+	NodeDepth   float64 // m
+	Range       float64 // horizontal range, m
+}
+
 // Link is an instantiated channel between a reader and a node position.
-// It is not safe for concurrent use (it owns a random stream).
+// It is not safe for concurrent use (it owns a random stream and scratch
+// buffers).
 type Link struct {
 	cfg  Config
+	mp   ocean.MultipathConfig
 	down []Tap // reader → node
 	up   []Tap // node → reader (reciprocal geometry)
+
+	// Reused storage for incremental rebuilds.
+	downArr []ocean.Arrival
+	upArr   []ocean.Arrival
+	tdlDown *TDL
+	tdlUp   *TDL
 
 	noiseAmp float64   // per-sample std dev of ambient noise envelope, µPa
 	shaper   *dsp.CFIR // nil for white noise
 	leak     complex128
 	fading   *ocean.FadingProcess
+	src      rand.Source
 	rng      *rand.Rand
+
+	ws workspace
 }
 
 // New builds a link. The multipath geometry is computed once; fading evolves
-// per sample as waveforms pass through.
+// per sample as waveforms pass through. For per-round geometry sway, build
+// one Link and call Rebuild instead of calling New each round.
 func New(cfg Config) (*Link, error) {
 	if cfg.Env == nil {
 		return nil, fmt.Errorf("channel: environment required")
@@ -86,13 +129,10 @@ func New(cfg Config) (*Link, error) {
 	if cfg.CarrierHz <= 0 || cfg.SampleRate <= 0 {
 		return nil, fmt.Errorf("channel: carrier %.3g Hz and sample rate %.3g Hz must be positive", cfg.CarrierHz, cfg.SampleRate)
 	}
-	if cfg.Range <= 0 {
-		return nil, fmt.Errorf("channel: range %.3g m must be positive", cfg.Range)
-	}
-	if cfg.ReaderDepth <= 0 || cfg.ReaderDepth > cfg.Env.Depth ||
-		cfg.NodeDepth <= 0 || cfg.NodeDepth > cfg.Env.Depth {
-		return nil, fmt.Errorf("channel: depths (%.2f, %.2f) must lie inside the water column (0, %.2f]",
-			cfg.ReaderDepth, cfg.NodeDepth, cfg.Env.Depth)
+	if err := validateGeometry(cfg.Env, Geometry{
+		ReaderDepth: cfg.ReaderDepth, NodeDepth: cfg.NodeDepth, Range: cfg.Range,
+	}); err != nil {
+		return nil, err
 	}
 	mp := ocean.DefaultMultipathConfig(cfg.CarrierHz)
 	if cfg.MaxOrder > 0 {
@@ -101,26 +141,21 @@ func New(cfg Config) (*Link, error) {
 	if cfg.FloorDB > 0 {
 		mp.MinRelAmpDB = cfg.FloorDB
 	}
-	l := &Link{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
-
-	downArr := cfg.Env.Multipath(ocean.Geometry{
-		SourceDepth: cfg.ReaderDepth, ReceiverDepth: cfg.NodeDepth, Range: cfg.Range,
-	}, mp)
-	upArr := cfg.Env.Multipath(ocean.Geometry{
-		SourceDepth: cfg.NodeDepth, ReceiverDepth: cfg.ReaderDepth, Range: cfg.Range,
-	}, mp)
-	l.down = toTaps(downArr, cfg.SampleRate)
-	l.up = toTaps(upArr, cfg.SampleRate)
+	src := rand.NewSource(cfg.Seed)
+	l := &Link{cfg: cfg, mp: mp, src: src, rng: rand.New(src)}
+	l.tdlDown = NewTDL(nil, cfg.FrequencyDomainTDL)
+	l.tdlUp = NewTDL(nil, cfg.FrequencyDomainTDL)
+	l.rebuildGeometry()
 
 	if !cfg.DisableNoise {
 		nl := cfg.Env.NoiseLevel(cfg.CarrierHz, cfg.SampleRate)
 		l.noiseAmp = math.Pow(10, nl/20)
 		if cfg.ColoredNoise {
-			shaper, err := wenzShaper(cfg.Env, cfg.CarrierHz, cfg.SampleRate)
+			taps, err := wenzShaperTaps(cfg.Env, cfg.CarrierHz, cfg.SampleRate)
 			if err != nil {
 				return nil, err
 			}
-			l.shaper = shaper
+			l.shaper = dsp.NewCFIR(taps)
 		}
 	}
 	if cfg.SelfInterferenceDB != 0 {
@@ -130,15 +165,69 @@ func New(cfg Config) (*Link, error) {
 		spread := cfg.Env.DopplerSpread(cfg.CarrierHz, 0)
 		l.fading = ocean.NewFadingProcess(spread, cfg.SampleRate, 0.3, l.rng)
 	}
+	metLinkBuilds.Inc()
 	return l, nil
 }
 
-func toTaps(arr []ocean.Arrival, fs float64) []Tap {
-	taps := make([]Tap, len(arr))
-	for i, a := range arr {
-		taps[i] = Tap{DelaySamples: a.Delay * fs, Gain: a.Gain}
+func validateGeometry(env *ocean.Environment, g Geometry) error {
+	if g.Range <= 0 {
+		return fmt.Errorf("channel: range %.3g m must be positive", g.Range)
 	}
-	return taps
+	if g.ReaderDepth <= 0 || g.ReaderDepth > env.Depth ||
+		g.NodeDepth <= 0 || g.NodeDepth > env.Depth {
+		return fmt.Errorf("channel: depths (%.2f, %.2f) must lie inside the water column (0, %.2f]",
+			g.ReaderDepth, g.NodeDepth, env.Depth)
+	}
+	return nil
+}
+
+// Rebuild re-derives the link for a new geometry and noise seed in place,
+// reusing all storage: arrival and tap slices, TDL spectra, the noise
+// shaper, and the fading process (whose AR(1) coefficients are geometry-
+// independent) are recycled rather than reallocated. The resulting Link is
+// bit-identical — same taps, same RNG stream, same waveforms — to what
+// channel.New would return for the updated configuration, which
+// TestRebuildMatchesFreshLink pins across swayed rounds, but rebuilding
+// allocates nothing in steady state where New rebuilds everything.
+func (l *Link) Rebuild(g Geometry, seed int64) error {
+	if err := validateGeometry(l.cfg.Env, g); err != nil {
+		return err
+	}
+	l.cfg.ReaderDepth, l.cfg.NodeDepth, l.cfg.Range = g.ReaderDepth, g.NodeDepth, g.Range
+	l.cfg.Seed = seed
+	// Reseeding the shared source puts the RNG in exactly the state a fresh
+	// rand.New(rand.NewSource(seed)) would have; the fading process rides
+	// the same stream, so resetting its state completes the equivalence.
+	l.src.Seed(seed)
+	if l.fading != nil {
+		l.fading.Reset()
+	}
+	l.rebuildGeometry()
+	metLinkRebuilds.Inc()
+	return nil
+}
+
+// rebuildGeometry recomputes the geometry-dependent state — eigenray
+// enumeration, tap tables and TDL engines — into the Link's reused storage.
+func (l *Link) rebuildGeometry() {
+	cfg := &l.cfg
+	l.downArr = cfg.Env.MultipathAppend(l.downArr, ocean.Geometry{
+		SourceDepth: cfg.ReaderDepth, ReceiverDepth: cfg.NodeDepth, Range: cfg.Range,
+	}, l.mp)
+	l.upArr = cfg.Env.MultipathAppend(l.upArr, ocean.Geometry{
+		SourceDepth: cfg.NodeDepth, ReceiverDepth: cfg.ReaderDepth, Range: cfg.Range,
+	}, l.mp)
+	l.down = appendTaps(l.down[:0], l.downArr, cfg.SampleRate)
+	l.up = appendTaps(l.up[:0], l.upArr, cfg.SampleRate)
+	l.tdlDown.Rebuild(l.down)
+	l.tdlUp.Rebuild(l.up)
+}
+
+func appendTaps(dst []Tap, arr []ocean.Arrival, fs float64) []Tap {
+	for _, a := range arr {
+		dst = append(dst, Tap{DelaySamples: a.Delay * fs, Gain: a.Gain})
+	}
+	return dst
 }
 
 // DownTaps returns a copy of the reader→node taps.
@@ -147,36 +236,20 @@ func (l *Link) DownTaps() []Tap { return append([]Tap(nil), l.down...) }
 // UpTaps returns a copy of the node→reader taps.
 func (l *Link) UpTaps() []Tap { return append([]Tap(nil), l.up...) }
 
-// applyTDL convolves x with the tapped delay line, rounding tap delays to
-// whole samples relative to the earliest tap (the residual carrier phase of
-// each arrival is already folded into the tap gain by the ocean package, so
-// sub-sample envelope alignment is a second-order effect at VAB bandwidths).
-// The output has the same length as the input; the common bulk delay is
-// removed so the caller does not pay the absolute propagation latency in
-// buffer length.
-func applyTDL(x []complex128, taps []Tap) []complex128 {
-	out := make([]complex128, len(x))
-	if len(taps) == 0 {
-		return out
-	}
-	base := math.Inf(1)
-	for _, t := range taps {
-		if t.DelaySamples < base {
-			base = t.DelaySamples
-		}
-	}
-	for _, t := range taps {
-		off := int(math.Round(t.DelaySamples - base))
-		dsp.MixInto(out, x, off, t.Gain)
-	}
-	return out
-}
-
 // Downlink propagates a transmitted envelope to the node. The node faces an
 // enormous near-field signal compared to ambient noise, so no noise is
 // added; multipath and absorption still shape the command waveform.
 func (l *Link) Downlink(tx []complex128) []complex128 {
-	return applyTDL(tx, l.down)
+	dst := make([]complex128, len(tx))
+	l.DownlinkInto(dst, tx)
+	return dst
+}
+
+// DownlinkInto is Downlink writing into dst, which must have the same
+// length as tx and must not alias it. It allocates nothing.
+func (l *Link) DownlinkInto(dst, tx []complex128) []complex128 {
+	l.tdlDown.Apply(dst, tx)
+	return dst
 }
 
 // Uplink propagates the node's scattered envelope back to the reader,
@@ -184,35 +257,80 @@ func (l *Link) Downlink(tx []complex128) []complex128 {
 // (txLeak is the reader's own transmit envelope, nil when the projector is
 // quiet) and ambient noise.
 func (l *Link) Uplink(scattered, txLeak []complex128) []complex128 {
-	y := applyTDL(scattered, l.up)
+	dst := make([]complex128, len(scattered))
+	return l.UplinkInto(dst, scattered, txLeak)
+}
+
+// UplinkInto is Uplink writing into dst, which must have the same length
+// as scattered and must not alias scattered or txLeak. Noise scratch comes
+// from the link workspace, so the steady state allocates nothing.
+func (l *Link) UplinkInto(dst, scattered, txLeak []complex128) []complex128 {
+	l.tdlUp.Apply(dst, scattered)
 	if l.fading != nil {
-		l.fading.Apply(y)
+		l.fading.Apply(dst)
 	}
 	if l.leak != 0 && txLeak != nil {
-		n := len(y)
+		n := len(dst)
 		if len(txLeak) < n {
 			n = len(txLeak)
 		}
 		for i := 0; i < n; i++ {
-			y[i] += l.leak * txLeak[i]
+			dst[i] += l.leak * txLeak[i]
 		}
 	}
-	l.addNoise(y)
-	return y
+	l.addNoise(dst)
+	return dst
 }
 
 // addNoise injects ambient noise (white, or Wenz-shaped when configured)
-// with total in-band power matching the environment's noise level.
+// with total in-band power matching the environment's noise level. The
+// Gaussian draw lands in workspace scratch and the shaper filters it in
+// place (see the dsp.CFIR.ProcessInto aliasing contract).
 func (l *Link) addNoise(y []complex128) {
 	if l.noiseAmp <= 0 {
 		return
 	}
-	noise := dsp.GaussianNoise(make([]complex128, len(y)), l.noiseAmp*l.noiseAmp, l.rng)
+	l.ws.noise = growBuf(l.ws.noise, len(y))
+	noise := l.ws.noise
+	dsp.GaussianNoiseInto(noise, l.noiseAmp*l.noiseAmp, l.rng)
 	if l.shaper != nil {
 		l.shaper.Reset()
 		l.shaper.ProcessInto(noise, noise)
 	}
 	dsp.AddInto(y, noise)
+}
+
+// wenzShaperKey identifies a shaper design: the filter depends only on the
+// environment's noise model, the carrier and the sample rate — never on
+// link geometry — so one design serves every link (and every rebuild) in a
+// simulation sweep.
+type wenzShaperKey struct {
+	env    ocean.Environment
+	fc, fs float64
+}
+
+var wenzShaperCache sync.Map // wenzShaperKey → []complex128 (immutable taps)
+
+// wenzShaperTaps returns the cached Wenz shaping-filter taps for the given
+// environment fingerprint, designing them on first use. The cached slice is
+// immutable; callers clone it into a private dsp.CFIR (whose constructor
+// copies taps) so per-link filter state never aliases the cache.
+func wenzShaperTaps(env *ocean.Environment, fc, fs float64) ([]complex128, error) {
+	key := wenzShaperKey{env: *env, fc: fc, fs: fs}
+	if v, ok := wenzShaperCache.Load(key); ok {
+		metShaperHits.Inc()
+		return v.([]complex128), nil
+	}
+	metShaperMisses.Inc()
+	f, err := wenzShaper(env, fc, fs)
+	if err != nil {
+		return nil, err
+	}
+	taps := f.Taps()
+	if v, raced := wenzShaperCache.LoadOrStore(key, taps); raced {
+		return v.([]complex128), nil
+	}
+	return taps, nil
 }
 
 // wenzShaper builds the PSD-shaping filter: the baseband bin at offset f
@@ -246,14 +364,28 @@ func wenzShaper(env *ocean.Environment, fc, fs float64) (*dsp.CFIR, error) {
 // gamma must have the same length as tx; nodeGain carries the array's
 // retrodirective conversion gain at the current orientation.
 func (l *Link) RoundTrip(tx, gamma []complex128, nodeGain complex128) ([]complex128, error) {
+	dst := make([]complex128, len(tx))
+	return l.RoundTripInto(dst, tx, gamma, nodeGain)
+}
+
+// RoundTripInto is RoundTrip writing the capture into dst, which must have
+// the same length as tx and must not alias tx or gamma. The node-side
+// intermediate lives in the link workspace, so a steady-state caller
+// (fixed frame length round to round) triggers no allocations at all.
+func (l *Link) RoundTripInto(dst, tx, gamma []complex128, nodeGain complex128) ([]complex128, error) {
 	if len(gamma) != len(tx) {
 		return nil, fmt.Errorf("channel: gamma length %d != tx length %d", len(gamma), len(tx))
 	}
-	atNode := l.Downlink(tx)
+	if len(dst) != len(tx) {
+		return nil, fmt.Errorf("channel: dst length %d != tx length %d", len(dst), len(tx))
+	}
+	l.ws.atNode = growBuf(l.ws.atNode, len(tx))
+	atNode := l.ws.atNode
+	l.DownlinkInto(atNode, tx)
 	for i := range atNode {
 		atNode[i] *= nodeGain * gamma[i]
 	}
-	return l.Uplink(atNode, tx), nil
+	return l.UplinkInto(dst, atNode, tx), nil
 }
 
 // BulkDelaySeconds returns the absolute earliest-arrival round-trip delay
@@ -289,6 +421,9 @@ func applyTDLAbs(x []complex128, taps []Tap, outLen int) []complex128 {
 // returned capture is long enough to contain the burst after the full
 // round-trip flight time, enabling time-of-flight ranging at the reader.
 // The leakage (which arrives promptly) and noise span the whole capture.
+// Unlike RoundTripInto it allocates its (variable-length) buffers per
+// call: ranging rounds are rare and their capture length depends on the
+// swayed geometry, so pinning them to a workspace would buy nothing.
 func (l *Link) RoundTripAbsolute(tx, gamma []complex128, nodeGain complex128) ([]complex128, error) {
 	if len(gamma) != len(tx) {
 		return nil, fmt.Errorf("channel: gamma length %d != tx length %d", len(gamma), len(tx))

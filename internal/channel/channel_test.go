@@ -256,6 +256,14 @@ func TestApplyTDLRemovesBulkDelay(t *testing.T) {
 	}
 }
 
+// applyTDL is the historical allocating helper, kept in the tests as a
+// thin shim over the in-place engine the package now uses.
+func applyTDL(x []complex128, taps []Tap) []complex128 {
+	out := make([]complex128, len(x))
+	applyTDLInto(out, x, taps)
+	return out
+}
+
 func TestApplyTDLRelativeDelays(t *testing.T) {
 	taps := []Tap{
 		{DelaySamples: 10, Gain: 1},

@@ -71,6 +71,19 @@ type System struct {
 	sway     *rand.Rand
 	linkSeed int64
 
+	// ook is the node-side downlink demodulator, built once: it is
+	// configuration-only, so constructing it per round bought nothing.
+	ook *phy.OOKDemodulator
+
+	// Round-pipeline buffers, reused across rounds so a steady-state poll
+	// loop stops allocating waveform-sized slices (see the channel
+	// package's allocation-discipline notes). RecordRound intentionally
+	// bypasses captureBuf: its capture escapes to the caller.
+	txBuf      []complex128
+	gammaBuf   []complex128
+	captureBuf []complex128
+	dlBuf      []complex128
+
 	// trace times RunRound's pipeline stages; nil (the default) records
 	// nothing. Set via Instrument.
 	trace  *telemetry.Tracer
@@ -93,9 +106,12 @@ func (s *System) Instrument(reg *telemetry.Registry) {
 	s.Reader.Instrument(reg)
 }
 
-// rebuildLink recreates the channel with mooring sway applied to the
+// rebuildLink refreshes the channel with mooring sway applied to the
 // nominal geometry, so consecutive rounds see decorrelated multipath
-// phases just as a real float does.
+// phases just as a real float does. The first call constructs the Link;
+// every later call rebuilds it in place (channel.Link.Rebuild), which is
+// bit-identical to constructing a fresh link for the jittered geometry but
+// reuses all of its storage.
 func (s *System) rebuildLink() error {
 	cfg := s.cfg
 	jitter := func(v, min, max float64) float64 {
@@ -109,23 +125,60 @@ func (s *System) rebuildLink() error {
 		return j
 	}
 	s.linkSeed++
+	// Draw order (reader depth, node depth, range) matches the historical
+	// per-round channel.New construction; seeded runs depend on it.
+	rd := jitter(cfg.ReaderDepth, 0.3, cfg.Env.Depth-0.1)
+	nd := jitter(cfg.NodeDepth, 0.3, cfg.Env.Depth-0.1)
+	rg := jitter(cfg.Range, 1, math.Inf(1))
+	seed := cfg.Seed + s.linkSeed
+	if s.Link != nil {
+		return s.Link.Rebuild(channel.Geometry{ReaderDepth: rd, NodeDepth: nd, Range: rg}, seed)
+	}
 	l, err := channel.New(channel.Config{
 		Env:                cfg.Env,
 		CarrierHz:          DefaultCarrierHz,
 		SampleRate:         cfg.Reader.PHY.SampleRate,
-		ReaderDepth:        jitter(cfg.ReaderDepth, 0.3, cfg.Env.Depth-0.1),
-		NodeDepth:          jitter(cfg.NodeDepth, 0.3, cfg.Env.Depth-0.1),
-		Range:              jitter(cfg.Range, 1, math.Inf(1)),
+		ReaderDepth:        rd,
+		NodeDepth:          nd,
+		Range:              rg,
 		SelfInterferenceDB: cfg.SelfInterferenceDB,
 		DisableNoise:       cfg.DisableNoise,
 		DisableFading:      cfg.DisableFading,
-		Seed:               cfg.Seed + s.linkSeed,
+		Seed:               seed,
 	})
 	if err != nil {
 		return err
 	}
 	s.Link = l
 	return nil
+}
+
+// growRoundBuf returns buf resized to n, reallocating only when the
+// capacity is insufficient (monotone growth: steady-state rounds reuse).
+func growRoundBuf(buf []complex128, n int) []complex128 {
+	if cap(buf) < n {
+		return make([]complex128, n)
+	}
+	return buf[:n]
+}
+
+// roundWaveforms fills the reused transmit-carrier and node-reflection
+// buffers for an uplink exchange of total samples whose response window
+// starts at pad. Callers must not retain the returned slices past the
+// round; RecordRound, whose capture escapes, still allocates that capture.
+func (s *System) roundWaveforms(total, pad int, gammaBits []float64) (tx, gamma []complex128) {
+	s.txBuf = growRoundBuf(s.txBuf, total)
+	tx = s.txBuf
+	s.Reader.CarrierEnvelopeInto(tx)
+	s.gammaBuf = growRoundBuf(s.gammaBuf, total)
+	gamma = s.gammaBuf
+	for i := range gamma {
+		gamma[i] = 0
+	}
+	for i, g := range gammaBits {
+		gamma[pad+i] = complex(s.deltaG*g, 0)
+	}
+	return tx, gamma
 }
 
 // NewSystem validates and assembles a deployment.
@@ -181,6 +234,10 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		return nil, err
 	}
 	s := &System{Reader: r, Node: n, cfg: cfg, sway: rand.New(rand.NewSource(cfg.Seed ^ 0x5f3759df))}
+	s.ook, err = phy.NewOOKDemodulator(cfg.Reader.PHY)
+	if err != nil {
+		return nil, err
+	}
 	if err := s.rebuildLink(); err != nil {
 		return nil, err
 	}
@@ -231,14 +288,11 @@ func (s *System) RunRound() (RoundReport, error) {
 	}
 	s.querySeq++
 	sp = s.trace.Stage("channel")
-	atNode := s.Link.Downlink(qw)
+	s.dlBuf = growRoundBuf(s.dlBuf, len(qw))
+	atNode := s.Link.DownlinkInto(s.dlBuf, qw)
 	sp.End()
-	ook, err := phy.NewOOKDemodulator(cfg.PHY)
-	if err != nil {
-		return rep, err
-	}
 	nChips := cfg.DownlinkCodec.ChipLength(0)
-	chips, err := ook.DemodChips(atNode, 0, nChips)
+	chips, err := s.ook.DemodChips(atNode, 0, nChips)
 	if err != nil {
 		return rep, fmt.Errorf("core: node downlink demod: %w", err)
 	}
@@ -266,13 +320,10 @@ func (s *System) RunRound() (RoundReport, error) {
 	spc := cfg.PHY.SamplesPerChip()
 	pad := 4 * spc
 	total := pad + len(gammaBits) + 4*spc
-	tx := s.Reader.CarrierEnvelope(total)
-	gamma := make([]complex128, total)
-	for i, g := range gammaBits {
-		gamma[pad+i] = complex(s.deltaG*g, 0)
-	}
+	tx, gamma := s.roundWaveforms(total, pad, gammaBits)
 	sp = s.trace.Stage("channel")
-	capture, err := s.Link.RoundTrip(tx, gamma, s.nodeGain)
+	s.captureBuf = growRoundBuf(s.captureBuf, total)
+	capture, err := s.Link.RoundTripInto(s.captureBuf, tx, gamma, s.nodeGain)
 	sp.End()
 	if err != nil {
 		return rep, err
@@ -307,11 +358,7 @@ func (s *System) RecordRound() ([]complex128, error) {
 	spc := cfg.PHY.SamplesPerChip()
 	pad := 4 * spc
 	total := pad + len(gammaBits) + 4*spc
-	tx := s.Reader.CarrierEnvelope(total)
-	gamma := make([]complex128, total)
-	for i, g := range gammaBits {
-		gamma[pad+i] = complex(s.deltaG*g, 0)
-	}
+	tx, gamma := s.roundWaveforms(total, pad, gammaBits)
 	return s.Link.RoundTrip(tx, gamma, s.nodeGain)
 }
 
@@ -346,12 +393,9 @@ func (s *System) RunCommandRound(payload []byte) (acked bool, rep reader.RxRepor
 	for i := range w {
 		w[i] *= complex(amp, 0)
 	}
-	atNode := s.Link.Downlink(w)
-	ook, err := phy.NewOOKDemodulator(cfg.PHY)
-	if err != nil {
-		return false, rep, err
-	}
-	gotChips, err := ook.DemodChips(atNode, 0, len(chips))
+	s.dlBuf = growRoundBuf(s.dlBuf, len(w))
+	atNode := s.Link.DownlinkInto(s.dlBuf, w)
+	gotChips, err := s.ook.DemodChips(atNode, 0, len(chips))
 	if err != nil {
 		return false, rep, err
 	}
@@ -370,12 +414,9 @@ func (s *System) RunCommandRound(payload []byte) (acked bool, rep reader.RxRepor
 	spc := cfg.PHY.SamplesPerChip()
 	pad := 4 * spc
 	total := pad + len(gammaBits) + 4*spc
-	tx := s.Reader.CarrierEnvelope(total)
-	gamma := make([]complex128, total)
-	for i, g := range gammaBits {
-		gamma[pad+i] = complex(s.deltaG*g, 0)
-	}
-	capture, err := s.Link.RoundTrip(tx, gamma, s.nodeGain)
+	tx, gamma := s.roundWaveforms(total, pad, gammaBits)
+	s.captureBuf = growRoundBuf(s.captureBuf, total)
+	capture, err := s.Link.RoundTripInto(s.captureBuf, tx, gamma, s.nodeGain)
 	if err != nil {
 		return false, rep, err
 	}
@@ -417,11 +458,7 @@ func (s *System) RunRangingRound() (RangingReport, error) {
 	spc := cfg.PHY.SamplesPerChip()
 	pad := 4 * spc
 	total := pad + len(gammaBits) + 4*spc
-	tx := s.Reader.CarrierEnvelope(total)
-	gamma := make([]complex128, total)
-	for i, g := range gammaBits {
-		gamma[pad+i] = complex(s.deltaG*g, 0)
-	}
+	tx, gamma := s.roundWaveforms(total, pad, gammaBits)
 	capture, err := s.Link.RoundTripAbsolute(tx, gamma, s.nodeGain)
 	if err != nil {
 		return rep, err

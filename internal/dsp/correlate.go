@@ -19,59 +19,123 @@ func XCorr(x, ref []complex128) []complex128 {
 	if len(ref) == 0 || len(x) < len(ref) {
 		return nil
 	}
+	out := make([]complex128, len(x)-len(ref)+1)
+	XCorrInto(out, x, ref)
+	return out
+}
+
+// XCorrInto computes the cross-correlation of x against ref into dst, which
+// must have length len(x)-len(ref)+1. It is the allocation-free form of
+// XCorr: the direct path writes straight into dst, and the FFT path runs
+// entirely on pooled scratch buffers before copying the valid region out.
+func XCorrInto(dst []complex128, x, ref []complex128) {
+	if len(ref) == 0 || len(x) < len(ref) {
+		return
+	}
+	nOut := len(x) - len(ref) + 1
+	if len(dst) != nOut {
+		panic("dsp: XCorrInto length mismatch")
+	}
 	sp := telemetry.StartSpan(metXCorrTime)
 	defer sp.End()
-	nOut := len(x) - len(ref) + 1
 	// Heuristic: direct O(n·m) beats FFT for small m.
 	if len(ref) <= 64 {
-		out := make([]complex128, nOut)
 		for k := 0; k < nOut; k++ {
 			var acc complex128
 			for n, r := range ref {
 				acc += x[k+n] * cmplx.Conj(r)
 			}
-			out[k] = acc
+			dst[k] = acc
 		}
-		return out
+		return
 	}
-	// FFT path: correlation = convolution with conjugated, reversed ref.
-	// The reversed reference only lives for the Convolve call, so it runs
-	// on a pooled scratch buffer.
-	s := getScratch(len(ref))
-	rev := s.buf
+	// FFT path: correlation = convolution with the conjugated, reversed ref,
+	// computed as one circular convolution on pooled scratch (the body of
+	// Convolve, inlined so the full-length result never escapes the pool).
+	m := len(ref)
+	n := len(x) + m - 1
+	fftLen := NextPow2(n)
+	p := radix2PlanFor(fftLen)
+	sa, sb := getScratch(fftLen), getScratch(fftLen)
+	fa, fb := sa.buf, sb.buf
+	copy(fa, x)
+	for i := len(x); i < fftLen; i++ {
+		fa[i] = 0
+	}
 	for i, r := range ref {
-		rev[len(ref)-1-i] = cmplx.Conj(r)
+		fb[m-1-i] = cmplx.Conj(r)
 	}
-	full := Convolve(x, rev)
-	putScratch(s)
-	// Valid region starts at len(ref)-1.
-	return full[len(ref)-1 : len(ref)-1+nOut]
+	for i := m; i < fftLen; i++ {
+		fb[i] = 0
+	}
+	p.inPlace(fa, false)
+	p.inPlace(fb, false)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	p.inPlace(fa, true)
+	inv := complex(1/float64(fftLen), 0)
+	// Valid region starts at m-1.
+	for k := 0; k < nOut; k++ {
+		dst[k] = fa[m-1+k] * inv
+	}
+	putScratch(sa)
+	putScratch(sb)
 }
 
 // NormXCorr returns the normalized cross-correlation magnitude in [0, 1]:
 // |xcorr| / (|x window| · |ref|). A peak near 1 indicates a clean preamble
 // hit regardless of channel gain.
 func NormXCorr(x, ref []complex128) []float64 {
-	raw := XCorr(x, ref)
-	if raw == nil {
+	if len(ref) == 0 || len(x) < len(ref) {
 		return nil
 	}
-	refE := Energy(ref)
-	if refE == 0 {
-		return make([]float64, len(raw))
+	out := make([]float64, len(x)-len(ref)+1)
+	NormXCorrInto(out, x, ref)
+	return out
+}
+
+// NormXCorrInto is the allocation-free form of NormXCorr: dst must have
+// length len(x)-len(ref)+1 and receives the normalized correlation
+// magnitudes. The raw correlation lives on a pooled scratch buffer, so the
+// steady state allocates nothing.
+func NormXCorrInto(dst []float64, x, ref []complex128) {
+	if len(ref) == 0 || len(x) < len(ref) {
+		return
 	}
-	out := make([]float64, len(raw))
+	nOut := len(x) - len(ref) + 1
+	if len(dst) != nOut {
+		panic("dsp: NormXCorrInto length mismatch")
+	}
+	sr := getScratch(nOut)
+	raw := sr.buf
+	XCorrInto(raw, x, ref)
+	normalizeXCorr(dst, raw, x, ref, Energy(ref))
+	putScratch(sr)
+}
+
+// normalizeXCorr turns raw correlation values into normalized magnitudes:
+// |xcorr|² / (window energy · reference energy), then sqrt. Shared by the
+// one-shot and cached-reference paths so both produce identical floats.
+func normalizeXCorr(dst []float64, raw []complex128, x, ref []complex128, refE float64) {
+	if refE == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
 	// Sliding window energy of x.
 	var winE float64
 	m := len(ref)
 	for i := 0; i < m; i++ {
 		winE += sq(x[i])
 	}
-	for k := range raw {
+	for k := range raw[:len(dst)] {
+		dst[k] = 0
 		den := winE * refE
 		if den > 0 {
 			c := raw[k]
-			out[k] = (real(c)*real(c) + imag(c)*imag(c)) / den
+			dst[k] = (real(c)*real(c) + imag(c)*imag(c)) / den
 		}
 		if k+m < len(x) {
 			winE += sq(x[k+m]) - sq(x[k])
@@ -81,10 +145,119 @@ func NormXCorr(x, ref []complex128) []float64 {
 		}
 	}
 	// Return sqrt so values are amplitude-normalized correlation.
-	for i, v := range out {
-		out[i] = sqrt64(v)
+	for i, v := range dst {
+		dst[i] = sqrt64(v)
 	}
-	return out
+}
+
+// Correlator performs repeated cross-correlations against one fixed
+// reference (a matched filter): the conjugated-reversed reference spectrum
+// is computed once per transform size and cached, saving one full FFT per
+// correlation versus XCorrInto. Results are bit-identical to XCorrInto /
+// NormXCorrInto — the cached spectrum is exactly what those compute per
+// call — so a seeded pipeline can adopt it without perturbing transcripts.
+// Not safe for concurrent use.
+type Correlator struct {
+	ref  []complex128
+	refE float64
+
+	fftLen int          // transform size the cached spectrum is valid for
+	spec   []complex128 // FFT of conj-reversed zero-padded ref, length fftLen
+}
+
+// NewCorrelator builds a matched filter for ref (the slice is copied).
+func NewCorrelator(ref []complex128) *Correlator {
+	r := make([]complex128, len(ref))
+	copy(r, ref)
+	return &Correlator{ref: r, refE: Energy(r)}
+}
+
+// RefLen returns the reference length.
+func (c *Correlator) RefLen() int { return len(c.ref) }
+
+// specFor returns the cached reference spectrum for fftLen, computing it on
+// first use (and whenever the capture length changes the transform size —
+// steady-state pipelines have one fixed size, so this is one FFT ever).
+func (c *Correlator) specFor(fftLen int) []complex128 {
+	if c.fftLen == fftLen {
+		return c.spec
+	}
+	if cap(c.spec) < fftLen {
+		c.spec = make([]complex128, fftLen)
+	}
+	c.spec = c.spec[:fftLen]
+	m := len(c.ref)
+	for i, r := range c.ref {
+		c.spec[m-1-i] = cmplx.Conj(r)
+	}
+	for i := m; i < fftLen; i++ {
+		c.spec[i] = 0
+	}
+	radix2PlanFor(fftLen).inPlace(c.spec, false)
+	c.fftLen = fftLen
+	return c.spec
+}
+
+// XCorrInto computes the cross-correlation of x against the reference into
+// dst (length len(x)-RefLen()+1), allocation-free in steady state and
+// bit-identical to the package-level XCorrInto.
+func (c *Correlator) XCorrInto(dst, x []complex128) {
+	if len(c.ref) == 0 || len(x) < len(c.ref) {
+		return
+	}
+	nOut := len(x) - len(c.ref) + 1
+	if len(dst) != nOut {
+		panic("dsp: Correlator XCorrInto length mismatch")
+	}
+	sp := telemetry.StartSpan(metXCorrTime)
+	defer sp.End()
+	if len(c.ref) <= 64 {
+		for k := 0; k < nOut; k++ {
+			var acc complex128
+			for n, r := range c.ref {
+				acc += x[k+n] * cmplx.Conj(r)
+			}
+			dst[k] = acc
+		}
+		return
+	}
+	m := len(c.ref)
+	fftLen := NextPow2(len(x) + m - 1)
+	fb := c.specFor(fftLen)
+	p := radix2PlanFor(fftLen)
+	sa := getScratch(fftLen)
+	fa := sa.buf
+	copy(fa, x)
+	for i := len(x); i < fftLen; i++ {
+		fa[i] = 0
+	}
+	p.inPlace(fa, false)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	p.inPlace(fa, true)
+	inv := complex(1/float64(fftLen), 0)
+	for k := 0; k < nOut; k++ {
+		dst[k] = fa[m-1+k] * inv
+	}
+	putScratch(sa)
+}
+
+// NormXCorrInto is the normalized form (see package-level NormXCorrInto),
+// using the cached reference spectrum and energy.
+func (c *Correlator) NormXCorrInto(dst []float64, x []complex128) {
+	if len(c.ref) == 0 || len(x) < len(c.ref) {
+		return
+	}
+	nOut := len(x) - len(c.ref) + 1
+	if len(dst) != nOut {
+		panic("dsp: Correlator NormXCorrInto length mismatch")
+	}
+	sr := getScratch(nOut)
+	raw := sr.buf
+	c.XCorrInto(raw, x)
+	normalizeXCorr(dst, raw, x, c.ref, c.refE)
+	putScratch(sr)
 }
 
 func sq(c complex128) float64 { return real(c)*real(c) + imag(c)*imag(c) }

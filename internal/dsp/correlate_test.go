@@ -177,3 +177,55 @@ func TestDecimateFactorOne(t *testing.T) {
 		t.Error("factor-1 decimate must copy")
 	}
 }
+
+// TestCorrelatorMatchesOneShot pins the cached-reference correlator against
+// the package-level functions bit-exactly, on both the direct (short ref)
+// and FFT (long ref) paths, including a capture-length change that forces a
+// spectrum recompute.
+func TestCorrelatorMatchesOneShot(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, m := range []int{16, 200} {
+		ref := make([]complex128, m)
+		for i := range ref {
+			ref[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		c := NewCorrelator(ref)
+		for _, n := range []int{m + 50, 1000, 777} {
+			x := make([]complex128, n)
+			for i := range x {
+				x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			}
+			want := XCorr(x, ref)
+			got := make([]complex128, len(want))
+			c.XCorrInto(got, x)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("m=%d n=%d: XCorr mismatch at %d: %v != %v", m, n, i, got[i], want[i])
+				}
+			}
+			wantN := NormXCorr(x, ref)
+			gotN := make([]float64, len(wantN))
+			c.NormXCorrInto(gotN, x)
+			for i := range wantN {
+				if gotN[i] != wantN[i] {
+					t.Fatalf("m=%d n=%d: NormXCorr mismatch at %d: %v != %v", m, n, i, gotN[i], wantN[i])
+				}
+			}
+		}
+		// Steady state (fixed capture length): no allocations. The scratch
+		// comes from a sync.Pool, which deliberately discards items under
+		// the race detector, so the pin only holds in a normal build.
+		if raceEnabled {
+			continue
+		}
+		x := make([]complex128, 1000)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		dst := make([]float64, len(x)-m+1)
+		c.NormXCorrInto(dst, x)
+		if a := testing.AllocsPerRun(10, func() { c.NormXCorrInto(dst, x) }); a != 0 {
+			t.Errorf("m=%d: Correlator NormXCorrInto allocates %.1f per run in steady state", m, a)
+		}
+	}
+}

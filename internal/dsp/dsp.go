@@ -110,17 +110,26 @@ func AddInto(dst, src []complex128) {
 }
 
 // MixInto accumulates g*src into dst element-wise starting at dst[off].
-// Samples of src that fall outside dst are dropped.
+// Samples of src that fall outside dst are dropped. The overlap region is
+// clipped up front so the inner loop carries no per-sample bounds logic;
+// the accumulation order (ascending source index) is unchanged, so results
+// are bit-identical to the naive loop.
 func MixInto(dst, src []complex128, off int, g complex128) {
-	for i, v := range src {
-		j := off + i
-		if j < 0 {
-			continue
-		}
-		if j >= len(dst) {
-			break
-		}
-		dst[j] += g * v
+	start := 0
+	if off < 0 {
+		start = -off
+	}
+	end := len(src)
+	if rem := len(dst) - off; rem < end {
+		end = rem
+	}
+	if start >= end {
+		return
+	}
+	d := dst[off+start : off+end]
+	s := src[start:end]
+	for i, v := range s {
+		d[i] += g * v
 	}
 }
 

@@ -31,6 +31,16 @@ func (f *CFIR) Reset() {
 	}
 }
 
+// Taps returns a copy of the filter's complex taps. The returned slice is
+// the caller's to keep; it can seed NewCFIR to clone the filter design
+// without re-running NoiseShapingFIR (the channel layer caches designed
+// taps per environment and builds per-link filters from them).
+func (f *CFIR) Taps() []complex128 {
+	t := make([]complex128, len(f.taps))
+	copy(t, f.taps)
+	return t
+}
+
 // Process filters x into a fresh slice.
 func (f *CFIR) Process(x []complex128) []complex128 {
 	out := make([]complex128, len(x))
@@ -38,7 +48,16 @@ func (f *CFIR) Process(x []complex128) []complex128 {
 	return out
 }
 
-// ProcessInto filters x into dst (equal length; aliasing allowed).
+// ProcessInto filters x into dst (equal length).
+//
+// Aliasing contract: dst and x may be the SAME slice (in-place filtering,
+// the channel noise shaper's steady-state path) because every input sample
+// is copied into the state ring before its output slot is written, so the
+// convolution only ever reads raw inputs from the ring, never from dst.
+// Partially overlapping slices (dst sharing some but not all backing
+// elements with x, at an offset) are NOT supported: a shifted write would
+// overwrite inputs the ring has not yet captured. TestCFIRInPlace pins the
+// identical-slice guarantee against the two-buffer reference.
 func (f *CFIR) ProcessInto(dst, x []complex128) {
 	if len(dst) != len(x) {
 		panic("dsp: CFIR ProcessInto length mismatch")

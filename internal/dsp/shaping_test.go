@@ -180,3 +180,49 @@ func TestWelchConfirmsChannelColoring(t *testing.T) {
 		t.Errorf("measured band ratio %v, target %v", got, wantRatio)
 	}
 }
+
+// TestCFIRInPlace pins the aliasing contract documented on ProcessInto:
+// filtering a buffer into itself must match the two-buffer reference
+// exactly, including across chunked streaming calls. The channel layer's
+// noise shaper relies on this (it colors its noise scratch in place).
+func TestCFIRInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	taps := make([]complex128, 21)
+	for i := range taps {
+		taps[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	x := make([]complex128, 300)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+
+	ref := NewCFIR(taps)
+	want := ref.Process(x)
+
+	// One-shot in-place.
+	f := NewCFIR(taps)
+	buf := append([]complex128(nil), x...)
+	f.ProcessInto(buf, buf)
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("in-place output differs at %d: %v vs %v", i, buf[i], want[i])
+		}
+	}
+
+	// Chunked streaming in-place (uneven chunk sizes straddle the ring).
+	f.Reset()
+	buf2 := append([]complex128(nil), x...)
+	for lo := 0; lo < len(buf2); {
+		hi := lo + 37
+		if hi > len(buf2) {
+			hi = len(buf2)
+		}
+		f.ProcessInto(buf2[lo:hi], buf2[lo:hi])
+		lo = hi
+	}
+	for i := range want {
+		if buf2[i] != want[i] {
+			t.Fatalf("chunked in-place differs at %d: %v vs %v", i, buf2[i], want[i])
+		}
+	}
+}

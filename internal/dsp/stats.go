@@ -154,11 +154,20 @@ func WilsonCI(k, n int, z float64) (lo, hi float64) {
 // GaussianNoise fills dst with circularly-symmetric complex Gaussian noise
 // of total power (variance) np, using rng, and returns dst.
 func GaussianNoise(dst []complex128, np float64, rng *rand.Rand) []complex128 {
+	GaussianNoiseInto(dst, np, rng)
+	return dst
+}
+
+// GaussianNoiseInto fills dst with circularly-symmetric complex Gaussian
+// noise of total power (variance) np, drawing two normals per sample from
+// rng in the same order as GaussianNoise (they are the same routine; this
+// name exists so steady-state callers reusing a workspace buffer read as
+// the allocation-free variant). It never allocates.
+func GaussianNoiseInto(dst []complex128, np float64, rng *rand.Rand) {
 	sigma := math.Sqrt(np / 2)
 	for i := range dst {
 		dst[i] = complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
 	}
-	return dst
 }
 
 // Linspace returns n evenly spaced values from lo to hi inclusive.

@@ -59,6 +59,14 @@ func NewFadingProcess(spreadHz, fsHz, depth float64, rng *rand.Rand) *FadingProc
 	return fp
 }
 
+// Reset returns the process to its initial (unfaded) state, exactly as
+// NewFadingProcess leaves it. An incrementally rebuilt link calls this
+// instead of reconstructing the process: the AR(1) coefficients depend only
+// on the Doppler spread and sample rate, which geometry sway cannot change,
+// so resetting the state is equivalent to — and allocation-free compared
+// with — building a fresh process on the same RNG.
+func (fp *FadingProcess) Reset() { fp.state = 0 }
+
 // Gain returns the next multiplicative channel gain sample (nominally near
 // 1+0j, wandering with the configured statistics).
 func (fp *FadingProcess) Gain() complex128 {

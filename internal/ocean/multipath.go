@@ -3,7 +3,6 @@ package ocean
 import (
 	"math"
 	"math/cmplx"
-	"sort"
 )
 
 // Arrival is one eigenray of the shallow-water waveguide: a delayed, scaled
@@ -47,6 +46,15 @@ func DefaultMultipathConfig(fHz float64) MultipathConfig {
 // boundary reflection coefficients per bounce evaluated at the ray's
 // grazing angle, and a carrier-phase rotation e^{-j2πf·L/c}.
 func (e *Environment) Multipath(g Geometry, cfg MultipathConfig) []Arrival {
+	return e.MultipathAppend(nil, g, cfg)
+}
+
+// MultipathAppend is Multipath writing into dst's backing storage
+// (truncated to dst[:0] first), so a caller that rebuilds the same link
+// geometry every round reuses one arrival slice instead of allocating:
+// after the first call whose capacity covers the enumeration, subsequent
+// calls are allocation-free. The returned slice must replace dst.
+func (e *Environment) MultipathAppend(dst []Arrival, g Geometry, cfg MultipathConfig) []Arrival {
 	if g.Range <= 0 {
 		panic("ocean: Multipath requires positive range")
 	}
@@ -55,7 +63,7 @@ func (e *Environment) Multipath(g Geometry, cfg MultipathConfig) []Arrival {
 	h := e.Depth
 	zs, zr, r := g.SourceDepth, g.ReceiverDepth, g.Range
 
-	var arrivals []Arrival
+	arrivals := dst[:0]
 	add := func(dz float64, surf, bot int) {
 		length := math.Hypot(r, dz)
 		grazing := math.Atan2(math.Abs(dz), r)
@@ -117,7 +125,19 @@ func (e *Environment) Multipath(g Geometry, cfg MultipathConfig) []Arrival {
 			kept = append(kept, a)
 		}
 	}
-	sort.Slice(kept, func(i, j int) bool { return kept[i].Delay < kept[j].Delay })
+	// Insertion sort by delay: the enumeration yields a few dozen arrivals
+	// at most, it allocates nothing (sort.Slice boxes its arguments), and —
+	// being stable — it gives ties a deterministic order independent of the
+	// sort library's internals.
+	for i := 1; i < len(kept); i++ {
+		a := kept[i]
+		j := i - 1
+		for j >= 0 && kept[j].Delay > a.Delay {
+			kept[j+1] = kept[j]
+			j--
+		}
+		kept[j+1] = a
+	}
 	return kept
 }
 

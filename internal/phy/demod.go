@@ -15,13 +15,31 @@ import (
 type Demodulator struct {
 	p        Params
 	bank     *dsp.ToneBank
-	preamble []complex128 // upper-sideband reference waveform of the preamble
+	preamble []complex128    // upper-sideband reference waveform of the preamble
+	corr     *dsp.Correlator // matched filter on preamble with cached reference spectrum
 
 	// CombineOffsets lists additional sample offsets (relative to the
 	// acquired start) whose tone energy is summed into each chip decision —
 	// the diversity combiner across resolvable multipath arrivals. Empty
 	// means single-path detection.
 	CombineOffsets []int
+
+	// Reused scratch: the demodulator runs once per round for thousands of
+	// rounds, so per-call buffers (the correlation surface, the notch
+	// history ring, the diversity branch table, the tone-energy pair) are
+	// owned by the instance instead of allocated per capture. This is part
+	// of why a Demodulator is not safe for concurrent use.
+	ncBuf        []float64
+	suppressHist []complex128
+	branchBuf    []demodBranch
+	eBuf         [2]float64
+}
+
+// demodBranch is one diversity branch of the chip detector: a sample offset
+// and its MRC weight.
+type demodBranch struct {
+	off int
+	w   float64
 }
 
 // NewDemodulator builds a demodulator for the given numerology.
@@ -34,6 +52,7 @@ func NewDemodulator(p Params) (*Demodulator, error) {
 		bank: dsp.NewToneBank([]float64{p.F0, p.F1}, p.SampleRate),
 	}
 	d.preamble = d.referenceWaveform()
+	d.corr = dsp.NewCorrelator(d.preamble)
 	return d, nil
 }
 
@@ -77,7 +96,13 @@ func (d *Demodulator) referenceWaveform() []complex128 {
 func (d *Demodulator) Suppress(y []complex128) []complex128 {
 	l := d.p.SamplesPerChip()
 	var sum complex128
-	hist := make([]complex128, l)
+	if cap(d.suppressHist) < l {
+		d.suppressHist = make([]complex128, l)
+	}
+	hist := d.suppressHist[:l]
+	for i := range hist {
+		hist[i] = 0
+	}
 	for i, v := range y {
 		sum += v
 		idx := i % l
@@ -113,7 +138,12 @@ func (d *Demodulator) Acquire(y []complex128, minMetric float64) (Acquisition, e
 	if len(y) < len(d.preamble) {
 		return Acquisition{}, fmt.Errorf("phy: capture of %d samples shorter than preamble %d", len(y), len(d.preamble))
 	}
-	nc := dsp.NormXCorr(y, d.preamble)
+	nOut := len(y) - len(d.preamble) + 1
+	if cap(d.ncBuf) < nOut {
+		d.ncBuf = make([]float64, nOut)
+	}
+	nc := d.ncBuf[:nOut]
+	d.corr.NormXCorrInto(nc, y)
 	idx, peak := dsp.ArgMax(nc)
 	if peak < minMetric {
 		return Acquisition{}, fmt.Errorf("phy: no preamble found (peak %.3f < %.3f)", peak, minMetric)
@@ -199,19 +229,16 @@ func (d *Demodulator) DemodChips(y []complex128, acq Acquisition, n int) ([]Soft
 	if need > len(y) {
 		return nil, fmt.Errorf("phy: capture too short: need %d samples, have %d", need, len(y))
 	}
-	type branch struct {
-		off int
-		w   float64
-	}
-	branches := []branch{{0, 1}}
+	branches := append(d.branchBuf[:0], demodBranch{0, 1})
 	for _, off := range d.CombineOffsets {
-		branches = append(branches, branch{off, 1})
+		branches = append(branches, demodBranch{off, 1})
 	}
 	for _, p := range acq.Peaks {
-		branches = append(branches, branch{p.Offset, p.Gain * p.Gain})
+		branches = append(branches, demodBranch{p.Offset, p.Gain * p.Gain})
 	}
+	d.branchBuf = branches
 	out := make([]SoftChip, n)
-	e := make([]float64, 2)
+	e := d.eBuf[:]
 	for i := 0; i < n; i++ {
 		var e0, e1 float64
 		for _, b := range branches {

@@ -63,20 +63,25 @@ type Reader struct {
 	demod *phy.Demodulator
 	canc  *phy.AdaptiveCanceller
 	met   rdMetrics
+
+	// cancBuf holds Decode's working copy of the capture when the
+	// canceller is active (Decode must not mutate the caller's capture
+	// before cancellation). Reused across rounds.
+	cancBuf []complex128
 }
 
 // rdMetrics carries the receive-chain instrumentation. The zero value is
 // the noop default; counters are shared when several readers (a fleet)
 // instrument against one registry, aggregating across nodes.
 type rdMetrics struct {
-	acquires    *telemetry.Counter
-	acquireFail *telemetry.Counter
-	demodErrors *telemetry.Counter
+	acquires     *telemetry.Counter
+	acquireFail  *telemetry.Counter
+	demodErrors  *telemetry.Counter
 	decodeErrors *telemetry.Counter
-	frames      *telemetry.Counter
-	corrected   *telemetry.Counter
-	snrDB       *telemetry.Histogram
-	stages      *telemetry.Tracer
+	frames       *telemetry.Counter
+	corrected    *telemetry.Counter
+	snrDB        *telemetry.Histogram
+	stages       *telemetry.Tracer
 }
 
 // Instrument registers receive-chain metrics in reg and starts recording.
@@ -142,9 +147,19 @@ func (r *Reader) SourceAmplitude() float64 {
 // CarrierEnvelope returns n samples of the interrogation carrier at source
 // amplitude.
 func (r *Reader) CarrierEnvelope(n int) []complex128 {
-	x := phy.CarrierEnvelope(n)
-	dsp.Scale(x, r.SourceAmplitude())
+	x := make([]complex128, n)
+	r.CarrierEnvelopeInto(x)
 	return x
+}
+
+// CarrierEnvelopeInto fills dst with the interrogation carrier at source
+// amplitude: the allocation-free form the round pipeline uses on its
+// reused transmit buffer.
+func (r *Reader) CarrierEnvelopeInto(dst []complex128) {
+	amp := complex(r.SourceAmplitude(), 0)
+	for i := range dst {
+		dst[i] = amp
+	}
 }
 
 // QueryWaveform encodes a query for addr as a downlink OOK envelope at
@@ -203,7 +218,12 @@ func (r *Reader) Decode(capture, txRef []complex128, payloadLen int) RxReport {
 	if r.canc != nil && txRef != nil && len(txRef) == len(y) {
 		sp := r.met.stages.Stage("cancel")
 		r.canc.Reset()
-		y = append([]complex128(nil), y...)
+		if cap(r.cancBuf) < len(y) {
+			r.cancBuf = make([]complex128, len(y))
+		}
+		buf := r.cancBuf[:len(y)]
+		copy(buf, y)
+		y = buf
 		r.canc.Prime(y, txRef)
 		y = r.canc.Process(y, txRef)
 		sp.End()

@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 )
@@ -46,13 +48,18 @@ func RunCells(cfgs []TrialConfig, workers int) ([]CellResult, error) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(cfgs) {
-					return
+			// Label the whole worker (once, not per cell — label sets
+			// allocate) so CPU profiles attribute Monte-Carlo work to the
+			// pool: `go tool pprof -tags` splits on vab_stage.
+			pprof.Do(context.Background(), pprof.Labels("vab_stage", "mc_cell"), func(context.Context) {
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(cfgs) {
+						return
+					}
+					out[i], errs[i] = RunCell(cfgs[i])
 				}
-				out[i], errs[i] = RunCell(cfgs[i])
-			}
+			})
 		}()
 	}
 	wg.Wait()
