@@ -8,6 +8,8 @@
 //	vabsim -exp E3             # just the head-to-head table
 //	vabsim -exp E1 -trials 200 # quicker Monte-Carlo
 //	vabsim -exp E6 -csv        # machine-readable output
+//	vabsim -faults list        # fault-scenario inventory
+//	vabsim -exp e11 -faults shrimp+shadowing  # chaos campaign
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"vab/internal/channel"
 	"vab/internal/dsp"
 	"vab/internal/experiments"
+	"vab/internal/faults"
 	"vab/internal/sim"
 	"vab/internal/telemetry"
 )
@@ -33,9 +36,24 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for Monte-Carlo cells and concurrent experiments (seeded output is bit-identical at any count)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	list := flag.Bool("list", false, "list the experiment inventory and exit")
+	faultSpec := flag.String("faults", "", "fault scenario for fault-injecting experiments (e.g. chaos, shrimp+shadowing:0.5); 'list' prints the inventory")
 	metricsAddr := flag.String("metrics", "", "ops endpoint address for /metrics, /healthz and pprof during the run (empty = telemetry off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (seeded output is unaffected)")
 	flag.Parse()
+
+	if strings.EqualFold(*faultSpec, "list") {
+		for _, line := range faults.Presets() {
+			fmt.Println(line)
+		}
+		fmt.Println("\ncompose with '+', scale with ':<intensity>' — e.g. -faults shrimp:0.5+brownout")
+		return
+	}
+	if *faultSpec != "" {
+		// Validate the spec up front so typos fail before a long campaign.
+		if _, err := faults.Parse(*faultSpec, *seed); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -78,7 +96,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Trials: *trials, Seed: *seed, Workers: *workers}
+	opts := experiments.Options{Trials: *trials, Seed: *seed, Workers: *workers, Faults: *faultSpec}
 	var results []*experiments.Result
 	if strings.EqualFold(*exp, "all") {
 		all, err := experiments.RunAll(opts)

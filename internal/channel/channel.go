@@ -498,18 +498,35 @@ func (l *Link) NoiseAmplitude() float64 { return l.noiseAmp }
 
 // InjectBurst adds a high-amplitude noise burst to y in place, starting at
 // sample start for length n, at powerDB above the ambient floor: the
-// failure-injection hook used to test link-layer recovery (passing boats,
-// snapping shrimp).
-func (l *Link) InjectBurst(y []complex128, start, n int, powerDB float64) {
+// fault-injection hook the chaos scenarios drive (passing boats, snapping
+// shrimp). The burst window is clamped against the slice bounds before any
+// indexing — a scenario whose drawn offsets overhang a short capture
+// buffer perturbs only the overlap — and non-positive lengths are
+// rejected. It returns the number of samples actually perturbed, so
+// callers can account for clipped injections.
+func (l *Link) InjectBurst(y []complex128, start, n int, powerDB float64) int {
+	if n <= 0 || start >= len(y) {
+		return 0
+	}
+	if start < 0 {
+		// The portion before sample 0 is rejected rather than indexed;
+		// guard the addition so a pathological n cannot wrap around.
+		if n+start <= 0 {
+			return 0
+		}
+		n += start
+		start = 0
+	}
+	if n > len(y)-start {
+		n = len(y) - start
+	}
 	amp := l.noiseAmp
 	if amp == 0 {
 		amp = 1
 	}
 	amp *= math.Pow(10, powerDB/20)
-	for i := start; i < start+n && i < len(y); i++ {
-		if i < 0 {
-			continue
-		}
+	for i := start; i < start+n; i++ {
 		y[i] += complex(l.rng.NormFloat64()*amp/math.Sqrt2, l.rng.NormFloat64()*amp/math.Sqrt2)
 	}
+	return n
 }

@@ -218,6 +218,48 @@ func TestInjectBurst(t *testing.T) {
 	l.InjectBurst(y, -10, 20, 10)
 }
 
+// InjectBurst clamps every window against the slice bounds and reports how
+// many samples it actually perturbed; degenerate requests touch nothing.
+func TestInjectBurstBounds(t *testing.T) {
+	cfg := testCfg()
+	cfg.DisableNoise = false
+	l, _ := New(cfg)
+	y := make([]complex128, 1000)
+
+	cases := []struct {
+		name     string
+		start, n int
+		want     int
+	}{
+		{"in-bounds", 100, 50, 50},
+		{"tail-clip", 990, 50, 10},
+		{"head-clip", -10, 30, 20},
+		{"entirely-before", -50, 20, 0},
+		{"entirely-after", 1000, 20, 0},
+		{"far-after", 5000, 20, 0},
+		{"zero-len", 100, 0, 0},
+		{"negative-len", 100, -5, 0},
+		{"covers-all", -100, 5000, 1000},
+	}
+	for _, tc := range cases {
+		if got := l.InjectBurst(y, tc.start, tc.n, 20); got != tc.want {
+			t.Errorf("%s: InjectBurst(start=%d, n=%d) perturbed %d samples, want %d",
+				tc.name, tc.start, tc.n, got, tc.want)
+		}
+	}
+
+	// A fully out-of-bounds burst must leave the waveform untouched.
+	z := make([]complex128, 16)
+	l.InjectBurst(z, -100, 50, 40)
+	l.InjectBurst(z, 16, 50, 40)
+	l.InjectBurst(z, 4, -1, 40)
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("sample %d perturbed by out-of-bounds burst: %v", i, v)
+		}
+	}
+}
+
 func TestFadingVariesUplink(t *testing.T) {
 	cfg := testCfg()
 	cfg.Env = ocean.AtlanticCoastal()

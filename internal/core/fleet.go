@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"vab/internal/faults"
 	"vab/internal/mac"
 	"vab/internal/node"
 	"vab/internal/telemetry"
@@ -17,6 +18,12 @@ type Fleet struct {
 	sched   *mac.Scheduler
 	systems map[byte]*System
 	order   []byte
+	rate    *mac.RateController
+
+	// Link-quality accumulators across every decoded frame: corrected FEC
+	// bits per delivered frame is the campaign's residual-BER proxy.
+	frames    int64
+	corrected int64
 }
 
 // NodePlacement positions one node of a fleet.
@@ -70,6 +77,15 @@ func (t fleetTrx) Poll(addr byte) (mac.RoundResult, error) {
 	if !ok {
 		return mac.RoundResult{}, fmt.Errorf("core: unknown node %d", addr)
 	}
+	// Rate stepdown actuation: if the controller moved since this node's
+	// last poll, rebuild its PHY chain at the commanded chip rate.
+	if t.f.rate != nil {
+		if r := t.f.rate.Rate(); r != s.ChipRate() {
+			if err := s.SetChipRate(r); err != nil {
+				return mac.RoundResult{}, err
+			}
+		}
+	}
 	s.WakeNode(30)
 	rep, err := s.RunRound()
 	if err != nil {
@@ -78,6 +94,8 @@ func (t fleetTrx) Poll(addr byte) (mac.RoundResult, error) {
 	if !rep.Rx.OK() {
 		return mac.RoundResult{}, nil
 	}
+	t.f.frames++
+	t.f.corrected += int64(rep.Rx.Corrected)
 	snr := 0.0
 	if rep.ToneSNREst > 0 {
 		snr = 10 * math.Log10(rep.ToneSNREst)
@@ -98,6 +116,33 @@ func (f *Fleet) Instrument(reg *telemetry.Registry) {
 		f.systems[addr].Instrument(reg)
 	}
 }
+
+// SetFaultEngine attaches one fault-injection engine to every node system
+// in the fleet (nil detaches and heals). All systems share the engine:
+// Plan is a pure function of the round index, so sharing is safe and keeps
+// the whole fleet on one scenario clock.
+func (f *Fleet) SetFaultEngine(e *faults.Engine) {
+	for _, addr := range f.order {
+		f.systems[addr].SetFaultEngine(e)
+	}
+}
+
+// EnableRateAdaptation wires a rate controller through the stack: the
+// scheduler feeds it per-cycle SNR/loss observations, and each poll
+// rebuilds the polled node's PHY chain whenever the commanded rate moved —
+// the closed loop behind SNR-triggered rate stepdown.
+func (f *Fleet) EnableRateAdaptation(rc *mac.RateController) {
+	f.rate = rc
+	f.sched.SetRateController(rc)
+}
+
+// Scheduler exposes the MAC scheduler for policy-level inspection.
+func (f *Fleet) Scheduler() *mac.Scheduler { return f.sched }
+
+// LinkQuality returns the running totals of delivered frames and FEC
+// corrections inside them — corrected/frames tracks how close delivered
+// traffic sat to the FEC cliff.
+func (f *Fleet) LinkQuality() (frames, corrected int64) { return f.frames, f.corrected }
 
 // Deploy charges every node for the given duration (the pre-campaign
 // soak).

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"vab/internal/channel"
+	"vab/internal/faults"
 	"vab/internal/link"
 	"vab/internal/node"
 	"vab/internal/ocean"
@@ -42,6 +44,12 @@ type SystemConfig struct {
 	// errors (thousands of ppm) degrade — the phy package quantifies the
 	// budget.
 	NodeClockPPM float64
+
+	// RoundDeadline bounds the wall time RunRound may spend before the
+	// watchdog abandons the round (reported, not an error). Zero disables
+	// the watchdog — the default, and required for bit-reproducible seeded
+	// transcripts, since wall time is not deterministic.
+	RoundDeadline time.Duration
 
 	// SwayRMS is the RMS mooring sway in meters applied independently to
 	// the geometry before every round (0.05 m default; negative disables).
@@ -88,6 +96,18 @@ type System struct {
 	// nothing. Set via Instrument.
 	trace  *telemetry.Tracer
 	rounds *telemetry.Counter
+	reg    *telemetry.Registry
+
+	// Fault-injection state (see chaos.go). chaos nil means no engine is
+	// attached and the round pipeline behaves exactly as before this hook
+	// existed. The applied* fields track sticky fault state so plans are
+	// re-applied only when they change.
+	chaos             *faults.Engine
+	chaosRound        int
+	appliedDeadFrac   float64
+	appliedClockDelta float64
+	shadowDB          float64
+	watchdogTrips     *telemetry.Counter
 }
 
 // Instrument enables round-stage tracing (vab_round_stage_seconds) and
@@ -103,7 +123,11 @@ func (s *System) Instrument(reg *telemetry.Registry) {
 		"Wall time of one system round's pipeline stages.", nil)
 	s.rounds = reg.Counter("vab_round_total",
 		"Query-response rounds executed at waveform level.")
+	s.watchdogTrips = reg.Counter("vab_round_watchdog_trips_total",
+		"Rounds abandoned by the per-round deadline watchdog.")
+	s.reg = reg
 	s.Reader.Instrument(reg)
+	s.chaos.Instrument(reg)
 }
 
 // rebuildLink refreshes the channel with mooring sway applied to the
@@ -241,8 +265,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	if err := s.rebuildLink(); err != nil {
 		return nil, err
 	}
-	field := cfg.Design.ScatterField(DefaultCarrierHz, cfg.Orientation)
-	s.nodeGain = field * complex(math.Pow(10, -StructuralLossDB/20), 0)
+	s.refreshNodeGain()
 	s.deltaG = 2 * cfg.Design.ModulationDepth(DefaultCarrierHz)
 	return s, nil
 }
@@ -263,6 +286,10 @@ type RoundReport struct {
 	NodeSilent bool // node declined to answer (energy, address)
 	PayloadOK  bool // payload parses as a sensor reading
 	ToneSNREst float64
+
+	// WatchdogTripped marks a round abandoned by the RoundDeadline
+	// watchdog: the stages up to the trip ran, the rest were skipped.
+	WatchdogTripped bool
 }
 
 // RunRound executes a full query-response exchange at waveform level and
@@ -271,6 +298,33 @@ func (s *System) RunRound() (RoundReport, error) {
 	var rep RoundReport
 	cfg := s.cfg.Reader
 	s.rounds.Inc()
+
+	// Per-round watchdog: bound wall time when a deadline is configured.
+	// The zero deadline (the default) makes every check a no-op.
+	var deadline time.Time
+	if s.cfg.RoundDeadline > 0 {
+		deadline = time.Now().Add(s.cfg.RoundDeadline)
+	}
+	tripped := func() bool {
+		if deadline.IsZero() || time.Now().Before(deadline) {
+			return false
+		}
+		rep.WatchdogTripped = true
+		s.watchdogTrips.Inc()
+		return true
+	}
+
+	// Fault injection: compute and apply this round's plan. A nil engine
+	// skips the block entirely, leaving seeded runs bit-identical to a
+	// build without fault support.
+	var plan faults.RoundPlan
+	if s.chaos != nil {
+		plan = s.chaos.Plan(s.chaosRound)
+		s.chaosRound++
+		if err := s.applyFaultPlan(&plan); err != nil {
+			return rep, err
+		}
+	}
 
 	// Mooring sway between rounds: refresh the multipath geometry.
 	if s.cfg.SwayRMS > 0 {
@@ -291,6 +345,9 @@ func (s *System) RunRound() (RoundReport, error) {
 	s.dlBuf = growRoundBuf(s.dlBuf, len(qw))
 	atNode := s.Link.DownlinkInto(s.dlBuf, qw)
 	sp.End()
+	if tripped() {
+		return rep, nil
+	}
 	nChips := cfg.DownlinkCodec.ChipLength(0)
 	chips, err := s.ook.DemodChips(atNode, 0, nChips)
 	if err != nil {
@@ -314,6 +371,9 @@ func (s *System) RunRound() (RoundReport, error) {
 		rep.NodeSilent = true
 		return rep, nil
 	}
+	if tripped() {
+		return rep, nil
+	}
 
 	// Round trip. The transmitted chip sequence is reconstructed for raw
 	// chip-error accounting.
@@ -323,10 +383,16 @@ func (s *System) RunRound() (RoundReport, error) {
 	tx, gamma := s.roundWaveforms(total, pad, gammaBits)
 	sp = s.trace.Stage("channel")
 	s.captureBuf = growRoundBuf(s.captureBuf, total)
-	capture, err := s.Link.RoundTripInto(s.captureBuf, tx, gamma, s.nodeGain)
+	capture, err := s.Link.RoundTripInto(s.captureBuf, tx, gamma, s.effectiveGain())
 	sp.End()
 	if err != nil {
 		return rep, err
+	}
+	if len(plan.Bursts) > 0 {
+		s.injectBursts(capture, &plan)
+	}
+	if tripped() {
+		return rep, nil
 	}
 	sp = s.trace.Stage("decode")
 	rep.Rx = s.Reader.Decode(capture, tx, node.PayloadSize)

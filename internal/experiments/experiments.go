@@ -42,6 +42,12 @@ type Options struct {
 	Trials  int   // Monte-Carlo frames per cell (0 → default per experiment)
 	Seed    int64 // base RNG seed
 	Workers int   // concurrency for Monte-Carlo cells and RunMany (0 → NumCPU, 1 → serial)
+
+	// Faults selects the fault scenario for experiments that inject faults
+	// (E11): a faults.Parse spec such as "chaos" or "shrimp+shadowing:0.5".
+	// Empty selects each experiment's default. Fault-free experiments
+	// ignore it.
+	Faults string
 }
 
 func (o Options) trials(def int) int {
@@ -116,6 +122,15 @@ var registry = map[string]runner{
 	"X5":  X5Environment,
 }
 
+// optIn experiments run only when named explicitly: they are deliberately
+// excluded from IDs()/RunAll so that seeded `-exp all` transcripts stay
+// byte-identical as opt-in experiments are added. E11 additionally varies
+// with Options.Faults, which would break the fixed-flag reproducibility
+// contract of the default set.
+var optIn = map[string]runner{
+	"E11": E11Chaos,
+}
+
 // IDs returns the registered experiment IDs in order: the paper's E-series
 // numerically, then the X-series extensions.
 func IDs() []string {
@@ -147,11 +162,15 @@ var metReg *telemetry.Registry
 // (vab_experiment_seconds{id="E1"}…) against reg. Call once at startup.
 func Instrument(reg *telemetry.Registry) { metReg = reg }
 
-// Run executes one experiment by ID.
+// Run executes one experiment by ID (including opt-in experiments that
+// RunAll skips).
 func Run(id string, opts Options) (*Result, error) {
 	r, ok := registry[id]
 	if !ok {
-		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+		r, ok = optIn[id]
+	}
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v plus opt-in E11)", id, IDs())
 	}
 	var sp telemetry.Span
 	if metReg != nil {

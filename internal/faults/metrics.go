@@ -1,0 +1,24 @@
+package faults
+
+import "vab/internal/telemetry"
+
+// engineMetrics counts injections by fault type. The zero value is the
+// noop default (nil counters are free no-ops), preserving the package's
+// determinism contract: telemetry never touches an RNG stream.
+type engineMetrics struct {
+	injections [numTypes]*telemetry.Counter
+}
+
+// Instrument registers per-type injection counters
+// (vab_faults_injections_total{type="impulse"}…) in reg and starts
+// recording. A nil registry leaves the engine uninstrumented.
+func (e *Engine) Instrument(reg *telemetry.Registry) {
+	if e == nil || reg == nil {
+		return
+	}
+	for t := Type(0); t < numTypes; t++ {
+		e.met.injections[t] = reg.Counter(
+			telemetry.Label("vab_faults_injections_total", "type", t.String()),
+			"Fault injections performed, by fault type.")
+	}
+}

@@ -12,8 +12,30 @@ type Client struct {
 	conn net.Conn
 }
 
+// DialOption customizes Dial.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	handshakeTimeout time.Duration
+}
+
+// WithHandshakeTimeout bounds the wait for the gateway's hello frame
+// (default 5s). Satellite or acoustic-modem backhauls with multi-second
+// RTTs need more; a LAN health checker may want much less.
+func WithHandshakeTimeout(d time.Duration) DialOption {
+	return func(c *dialConfig) {
+		if d > 0 {
+			c.handshakeTimeout = d
+		}
+	}
+}
+
 // Dial connects to a gateway and verifies the protocol handshake.
-func Dial(ctx context.Context, addr string) (*Client, error) {
+func Dial(ctx context.Context, addr string, opts ...DialOption) (*Client, error) {
+	cfg := dialConfig{handshakeTimeout: 5 * time.Second}
+	for _, o := range opts {
+		o(&cfg)
+	}
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
@@ -21,7 +43,7 @@ func Dial(ctx context.Context, addr string) (*Client, error) {
 	}
 	c := &Client{conn: conn}
 	// Expect the hello frame promptly.
-	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	conn.SetReadDeadline(time.Now().Add(cfg.handshakeTimeout))
 	t, payload, err := ReadFrame(conn)
 	if err != nil {
 		conn.Close()

@@ -2,6 +2,7 @@ package gateway
 
 import (
 	"context"
+	"math/rand"
 	"time"
 )
 
@@ -16,24 +17,22 @@ import (
 // completeness).
 func Subscribe(ctx context.Context, addr string, out chan<- Reading) {
 	defer close(out)
-	backoff := 100 * time.Millisecond
-	const maxBackoff = 10 * time.Second
+	backoff := baseBackoff
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	for {
 		if ctx.Err() != nil {
 			return
 		}
 		c, err := Dial(ctx, addr)
 		if err != nil {
-			if !sleepCtx(ctx, backoff) {
+			sleep, next := nextBackoff(backoff, rng)
+			if !sleepCtx(ctx, sleep) {
 				return
 			}
-			backoff *= 2
-			if backoff > maxBackoff {
-				backoff = maxBackoff
-			}
+			backoff = next
 			continue
 		}
-		backoff = 100 * time.Millisecond // connected: reset
+		backoff = baseBackoff // connected: reset
 		// Close the connection when ctx ends so Next unblocks.
 		stop := context.AfterFunc(ctx, func() { c.Close() })
 		for {
@@ -53,6 +52,27 @@ func Subscribe(ctx context.Context, addr string, out chan<- Reading) {
 		stop()
 		c.Close()
 	}
+}
+
+// baseBackoff is the first reconnect delay; maxBackoff caps the schedule.
+const (
+	baseBackoff = 100 * time.Millisecond
+	maxBackoff  = 10 * time.Second
+)
+
+// nextBackoff returns the jittered sleep for the current backoff level and
+// the next level. The sleep is drawn uniformly from [cur/2, cur] ("equal
+// jitter"): after a gateway restart, a fleet of shore-side subscribers
+// whose unjittered timers were synchronized by the outage itself would
+// otherwise reconnect in lockstep and hammer the listener in waves.
+func nextBackoff(cur time.Duration, rng *rand.Rand) (sleep, next time.Duration) {
+	half := cur / 2
+	sleep = half + time.Duration(rng.Int63n(int64(half)+1))
+	next = cur * 2
+	if next > maxBackoff {
+		next = maxBackoff
+	}
+	return sleep, next
 }
 
 // sleepCtx sleeps for d or until ctx is done; it reports whether the full

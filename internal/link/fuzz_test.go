@@ -30,7 +30,9 @@ func FuzzUnmarshal(f *testing.F) {
 }
 
 // FuzzCodecDecode runs arbitrary chip streams through the full receive
-// pipeline: decode must fail cleanly or produce a frame, never panic.
+// pipeline: decode must fail cleanly or produce a frame, never panic. Any
+// frame it does accept must survive a clean re-encode/re-decode cycle —
+// what the codec hands up is something the codec itself can carry.
 func FuzzCodecDecode(f *testing.F) {
 	c := DefaultCodec()
 	good, _ := c.EncodeFrame(&Frame{Type: FrameData, Addr: 1, Payload: []byte{1, 2}})
@@ -41,6 +43,26 @@ func FuzzCodecDecode(f *testing.F) {
 		for i := range chips {
 			chips[i] &= 1
 		}
-		_, _, _ = c.DecodeFrame(chips)
+		fr, _, err := c.DecodeFrame(chips)
+		if err != nil {
+			return
+		}
+		// Round trip: the accepted frame re-encodes (its fields are within
+		// wire limits) and decodes back to itself with zero corrections.
+		wire, err := c.EncodeFrame(fr)
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		fr2, stats, err := c.DecodeFrame(wire)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if stats.CorrectedBits != 0 {
+			t.Fatalf("clean re-decode corrected %d bits", stats.CorrectedBits)
+		}
+		if fr2.Type != fr.Type || fr2.Addr != fr.Addr || fr2.Seq != fr.Seq ||
+			!bytes.Equal(fr2.Payload, fr.Payload) {
+			t.Fatalf("round-trip mismatch:\n got  %+v\n want %+v", fr2, fr)
+		}
 	})
 }

@@ -25,14 +25,46 @@ type PollPolicy struct {
 	// BackoffSlots is the discovery window size in response slots.
 	BackoffSlots int
 	// DropAfter removes a node from the schedule after this many
-	// consecutive failed cycles (0 = never drop).
+	// consecutive failed cycles (0 = never drop). With Probation set the
+	// node is quarantined instead of permanently removed.
 	DropAfter int
+
+	// Probation replaces permanent drops with quarantine: after DropAfter
+	// silent cycles the node leaves the regular schedule but receives
+	// single-attempt re-probes at exponentially backed-off intervals
+	// (ProbeBackoffBase cycles, doubling up to ProbeBackoffMax). One
+	// successful probe restores the node. A transient impairment — a
+	// bubble cloud, a brownout while a mooring recharges — thereby costs
+	// rounds, not the node; the one-way DropAfter removal remains for
+	// operators who prefer it.
+	Probation bool
+	// ProbeBackoffBase is the first quarantine re-probe interval in
+	// cycles (0 → 2).
+	ProbeBackoffBase int
+	// ProbeBackoffMax caps the re-probe interval in cycles (0 → 16).
+	ProbeBackoffMax int
 }
 
 // DefaultPollPolicy matches the field campaign: two retries, eight
 // discovery slots, nodes dropped after five silent cycles.
 func DefaultPollPolicy() PollPolicy {
 	return PollPolicy{MaxRetries: 2, BackoffSlots: 8, DropAfter: 5}
+}
+
+// probeBase resolves the first re-probe interval.
+func (p PollPolicy) probeBase() int {
+	if p.ProbeBackoffBase <= 0 {
+		return 2
+	}
+	return p.ProbeBackoffBase
+}
+
+// probeMax resolves the re-probe interval cap.
+func (p PollPolicy) probeMax() int {
+	if p.ProbeBackoffMax <= 0 {
+		return 16
+	}
+	return p.ProbeBackoffMax
 }
 
 // Validate reports nonsensical policies.
@@ -45,6 +77,12 @@ func (p PollPolicy) Validate() error {
 	}
 	if p.DropAfter < 0 {
 		return fmt.Errorf("mac: negative drop threshold")
+	}
+	if p.ProbeBackoffBase < 0 || p.ProbeBackoffMax < 0 {
+		return fmt.Errorf("mac: negative probe backoff")
+	}
+	if p.ProbeBackoffBase > 0 && p.ProbeBackoffMax > 0 && p.ProbeBackoffBase > p.ProbeBackoffMax {
+		return fmt.Errorf("mac: probe backoff base %d exceeds max %d", p.ProbeBackoffBase, p.ProbeBackoffMax)
 	}
 	return nil
 }
@@ -73,6 +111,19 @@ type NodeState struct {
 	SilentCycles int
 	Dropped      bool
 	LastSNRdB    float64
+
+	// Health is an EWMA of per-cycle delivery in [0, 1] (1 = every recent
+	// cycle delivered), the score the probation policy keys on.
+	Health float64
+	// Quarantined marks a node in probation: off the regular schedule,
+	// awaiting a backed-off re-probe.
+	Quarantined bool
+	// QuarantineEntries counts how many times the node entered probation.
+	QuarantineEntries int
+
+	probeInterval int // current re-probe backoff, cycles
+	nextProbe     int // cycle index of the next re-probe
+	quarantinedAt int // cycle index of the latest quarantine entry
 }
 
 // Scheduler runs the polling MAC over a set of node addresses.
@@ -81,18 +132,24 @@ type Scheduler struct {
 	trx    Transceiver
 	nodes  map[byte]*NodeState
 	order  []byte
+	cycle  int // completed RunCycle count (the probation clock)
+	rate   *RateController
 	met    macMetrics
 }
 
 // macMetrics instruments the polling loop. Zero value = noop.
 type macMetrics struct {
-	polls     *telemetry.Counter
-	delivered *telemetry.Counter
-	retries   *telemetry.Counter
-	timeouts  *telemetry.Counter // attempts that returned no frame
-	dropped   *telemetry.Counter // nodes removed by the liveness policy
-	liveNodes *telemetry.Gauge
-	pollTime  *telemetry.Histogram
+	polls       *telemetry.Counter
+	delivered   *telemetry.Counter
+	retries     *telemetry.Counter
+	timeouts    *telemetry.Counter // attempts that returned no frame
+	dropped     *telemetry.Counter // nodes removed by the liveness policy
+	quarantined *telemetry.Counter // probation entries
+	restored    *telemetry.Counter // probation exits via successful probe
+	probes      *telemetry.Counter // quarantine re-probe attempts
+	liveNodes   *telemetry.Gauge
+	pollTime    *telemetry.Histogram
+	recoveryLat *telemetry.Histogram // cycles from quarantine entry to restore
 }
 
 // Instrument registers MAC metrics in reg and starts recording. Call
@@ -112,24 +169,54 @@ func (s *Scheduler) Instrument(reg *telemetry.Registry) {
 			"Poll attempts that elicited no decodable response."),
 		dropped: reg.Counter("vab_mac_nodes_dropped_total",
 			"Nodes removed from the schedule by the liveness policy."),
+		quarantined: reg.Counter("vab_mac_quarantine_entries_total",
+			"Nodes placed in probation by the liveness policy."),
+		restored: reg.Counter("vab_mac_quarantine_exits_total",
+			"Quarantined nodes restored by a successful re-probe."),
+		probes: reg.Counter("vab_mac_probes_total",
+			"Single-attempt re-probes of quarantined nodes."),
 		liveNodes: reg.Gauge("vab_mac_live_nodes",
 			"Nodes currently in the polling schedule."),
 		pollTime: reg.Histogram("vab_mac_poll_seconds",
 			"Wall time of one poll attempt (transceiver round).", nil),
+		recoveryLat: reg.Histogram("vab_mac_recovery_cycles",
+			"Cycles a node spent quarantined before a probe restored it.",
+			telemetry.LinearBuckets(1, 4, 16)),
 	}
 	s.met.liveNodes.Set(float64(s.liveCount()))
 }
 
-// liveCount returns the number of nodes still in the schedule.
+// liveCount returns the number of nodes still in the regular schedule
+// (neither dropped nor quarantined).
 func (s *Scheduler) liveCount() int {
 	n := 0
 	for _, st := range s.nodes {
-		if !st.Dropped {
+		if !st.Dropped && !st.Quarantined {
 			n++
 		}
 	}
 	return n
 }
+
+// healthAlpha is the EWMA coefficient of the per-node health score.
+const healthAlpha = 0.25
+
+// observeHealth folds one cycle outcome into the node's health score.
+func observeHealth(st *NodeState, delivered bool) {
+	outcome := 0.0
+	if delivered {
+		outcome = 1
+	}
+	st.Health = (1-healthAlpha)*st.Health + healthAlpha*outcome
+}
+
+// SetRateController attaches a rate controller: every delivered cycle
+// feeds Observe with the node's reported SNR and every lost cycle feeds
+// ObserveLoss, so sustained impairment steps the link down to a more
+// robust chip rate and recovery climbs it back. The scheduler only drives
+// the controller; acting on Rate() (rebuilding the PHY) is the
+// transceiver owner's job — see core.System.SetChipRate.
+func (s *Scheduler) SetRateController(rc *RateController) { s.rate = rc }
 
 // NewScheduler builds a scheduler over the given transceiver.
 func NewScheduler(trx Transceiver, policy PollPolicy) (*Scheduler, error) {
@@ -151,7 +238,7 @@ func (s *Scheduler) AddNode(addr byte) {
 	if _, ok := s.nodes[addr]; ok {
 		return
 	}
-	s.nodes[addr] = &NodeState{Addr: addr}
+	s.nodes[addr] = &NodeState{Addr: addr, Health: 1}
 	s.order = append(s.order, addr)
 	sort.Slice(s.order, func(i, j int) bool { return s.order[i] < s.order[j] })
 	s.met.liveNodes.Set(float64(s.liveCount()))
@@ -172,20 +259,31 @@ type CycleReport struct {
 	Polled    int
 	Delivered int
 	Retries   int
+	Probes    int // quarantine re-probe attempts this cycle
 	Payloads  map[byte][]byte
 }
 
-// RunCycle polls every live node once (with retries) and returns the cycle
+// RunCycle polls every live node once (with retries), re-probes any
+// quarantined node whose backoff has elapsed, and returns the cycle
 // summary.
 func (s *Scheduler) RunCycle() (CycleReport, error) {
 	rep := CycleReport{Payloads: make(map[byte][]byte)}
+	cycle := s.cycle
+	s.cycle++
 	for _, addr := range s.order {
 		st := s.nodes[addr]
 		if st.Dropped {
 			continue
 		}
+		if st.Quarantined {
+			if err := s.probe(st, cycle, &rep); err != nil {
+				return rep, err
+			}
+			continue
+		}
 		rep.Polled++
 		delivered := false
+		var snr float64
 		for attempt := 0; attempt <= s.policy.MaxRetries; attempt++ {
 			st.Polls++
 			s.met.polls.Inc()
@@ -203,11 +301,20 @@ func (s *Scheduler) RunCycle() (CycleReport, error) {
 			if res.OK {
 				st.Successes++
 				st.LastSNRdB = res.SNRdB
+				snr = res.SNRdB
 				rep.Payloads[addr] = res.Payload
 				delivered = true
 				break
 			}
 			s.met.timeouts.Inc()
+		}
+		observeHealth(st, delivered)
+		if s.rate != nil {
+			if delivered {
+				s.rate.Observe(snr)
+			} else {
+				s.rate.ObserveLoss()
+			}
 		}
 		if delivered {
 			st.SilentCycles = 0
@@ -216,13 +323,66 @@ func (s *Scheduler) RunCycle() (CycleReport, error) {
 		} else {
 			st.SilentCycles++
 			if s.policy.DropAfter > 0 && st.SilentCycles >= s.policy.DropAfter {
-				st.Dropped = true
-				s.met.dropped.Inc()
+				if s.policy.Probation {
+					st.Quarantined = true
+					st.QuarantineEntries++
+					st.quarantinedAt = cycle
+					st.probeInterval = s.policy.probeBase()
+					st.nextProbe = cycle + st.probeInterval
+					s.met.quarantined.Inc()
+				} else {
+					st.Dropped = true
+					s.met.dropped.Inc()
+				}
 				s.met.liveNodes.Set(float64(s.liveCount()))
 			}
 		}
 	}
 	return rep, nil
+}
+
+// probe runs one single-attempt re-probe of a quarantined node when its
+// backoff has elapsed: success restores the node to the schedule, failure
+// doubles the backoff up to the policy cap. Probes deliberately skip the
+// retry budget — a node that is still down should cost the cycle as
+// little airtime as possible.
+func (s *Scheduler) probe(st *NodeState, cycle int, rep *CycleReport) error {
+	if cycle < st.nextProbe {
+		return nil
+	}
+	rep.Polled++
+	rep.Probes++
+	st.Polls++
+	s.met.polls.Inc()
+	s.met.probes.Inc()
+	sp := telemetry.StartSpan(s.met.pollTime)
+	res, err := s.trx.Poll(st.Addr)
+	sp.End()
+	if err != nil {
+		return fmt.Errorf("mac: probe %d: %w", st.Addr, err)
+	}
+	if !res.OK {
+		s.met.timeouts.Inc()
+		observeHealth(st, false)
+		st.probeInterval *= 2
+		if max := s.policy.probeMax(); st.probeInterval > max {
+			st.probeInterval = max
+		}
+		st.nextProbe = cycle + st.probeInterval
+		return nil
+	}
+	st.Quarantined = false
+	st.SilentCycles = 0
+	st.Successes++
+	st.LastSNRdB = res.SNRdB
+	observeHealth(st, true)
+	rep.Payloads[st.Addr] = res.Payload
+	rep.Delivered++
+	s.met.delivered.Inc()
+	s.met.restored.Inc()
+	s.met.recoveryLat.Observe(float64(cycle - st.quarantinedAt + 1))
+	s.met.liveNodes.Set(float64(s.liveCount()))
+	return nil
 }
 
 // DeliveryRatio returns delivered/polled across all completed cycles for a

@@ -158,6 +158,13 @@ func (h *Harvester) Step(inputW, loadW, dt float64) float64 {
 // battery in joules (0 for harvest-only nodes).
 func (h *Harvester) BatteryDrawn() float64 { return h.batteryDrawn }
 
+// Deplete collapses the reservoir to 0 V immediately: the fault-injection
+// hook for supply brownouts (a shorted rail, a regulator latch-up, a cold
+// capacitor). Battery backing does not soften the collapse itself — the
+// next Step refills a battery-backed node back to turn-on, modeling the
+// recovery time of one charge interval.
+func (h *Harvester) Deplete() { h.voltage = 0 }
+
 // State enumerates the node FSM.
 type State int
 
@@ -242,6 +249,59 @@ func New(cfg Config) (*Node, error) {
 
 // Addr returns the node's link-layer address.
 func (n *Node) Addr() byte { return n.cfg.Addr }
+
+// Harvester exposes the node's energy reservoir for inspection and fault
+// injection.
+func (n *Node) Harvester() *Harvester { return n.cfg.Harvest }
+
+// InjectBrownout forcibly depletes the reservoir and drops the node into
+// the sleep state: the deterministic fault-injection entry point. The node
+// stays silent until the next charge interval restores the rail (which,
+// for battery-backed nodes, is the next Harvest/Step call).
+func (n *Node) InjectBrownout() {
+	n.cfg.Harvest.Deplete()
+	n.state = StateSleep
+}
+
+// ClockPPM returns the node oscillator's current frequency error.
+func (n *Node) ClockPPM() float64 { return n.cfg.PHY.ClockPPM }
+
+// SetClockPPM re-tunes the node oscillator's frequency error mid-run (a
+// temperature transient, or a fault-injected clock step) by rebuilding the
+// modulator at the new numerology. A no-op when ppm already matches.
+func (n *Node) SetClockPPM(ppm float64) error {
+	if n.cfg.PHY.ClockPPM == ppm {
+		return nil
+	}
+	p := n.cfg.PHY
+	p.ClockPPM = ppm
+	mod, err := phy.NewModulator(p)
+	if err != nil {
+		return fmt.Errorf("node: clock step to %+.0f ppm: %w", ppm, err)
+	}
+	n.cfg.PHY = p
+	n.mod = mod
+	return nil
+}
+
+// SetChipRate rebuilds the node modulator at a new chip rate — the node
+// half of a reader-commanded rate stepdown. The rate must satisfy the phy
+// numerology rules for the configured sample rate. A no-op when the rate
+// already matches.
+func (n *Node) SetChipRate(rate float64) error {
+	if n.cfg.PHY.ChipRate == rate {
+		return nil
+	}
+	p := n.cfg.PHY
+	p.ChipRate = rate
+	mod, err := phy.NewModulator(p)
+	if err != nil {
+		return fmt.Errorf("node: chip rate %.0f: %w", rate, err)
+	}
+	n.cfg.PHY = p
+	n.mod = mod
+	return nil
+}
 
 // State returns the FSM state.
 func (n *Node) State() State { return n.state }

@@ -40,6 +40,36 @@ type Config struct {
 	// cancels chip-scale late echoes (severe ISI regimes such as
 	// mid-column coastal geometries). Costs a second demodulation pass.
 	UseEqualizer bool
+
+	// Reacquire enables burst reacquisition: when acquisition fails at
+	// AcquireThreshold, the threshold steps down by ReacquireStep for up
+	// to ReacquireMax extra attempts, never below ReacquireFloor. An
+	// impulse-masked or shadow-faded preamble that correlates weakly but
+	// genuinely is thereby recovered instead of discarded; the floor
+	// bounds the false-acquisition risk. Off (the default) preserves the
+	// historical single-attempt behavior bit for bit.
+	Reacquire bool
+	// ReacquireMax bounds the extra acquisition attempts (0 → 2).
+	ReacquireMax int
+	// ReacquireStep is the per-attempt threshold decrement (0 → 0.05).
+	ReacquireStep float64
+	// ReacquireFloor is the lowest threshold tried (0 → 0.08).
+	ReacquireFloor float64
+}
+
+// reacquire resolves the reacquisition policy's defaults.
+func (c *Config) reacquire() (max int, step, floor float64) {
+	max, step, floor = c.ReacquireMax, c.ReacquireStep, c.ReacquireFloor
+	if max <= 0 {
+		max = 2
+	}
+	if step <= 0 {
+		step = 0.05
+	}
+	if floor <= 0 {
+		floor = 0.08
+	}
+	return max, step, floor
 }
 
 // DefaultConfig returns the reader used by the end-to-end experiments:
@@ -80,6 +110,8 @@ type rdMetrics struct {
 	decodeErrors *telemetry.Counter
 	frames       *telemetry.Counter
 	corrected    *telemetry.Counter
+	reacquires   *telemetry.Counter
+	reacquireOK  *telemetry.Counter
 	snrDB        *telemetry.Histogram
 	stages       *telemetry.Tracer
 }
@@ -105,6 +137,10 @@ func (r *Reader) Instrument(reg *telemetry.Registry) {
 			"Frames recovered end to end."),
 		corrected: reg.Counter("vab_reader_fec_corrected_bits_total",
 			"Bits repaired by the FEC across recovered frames."),
+		reacquires: reg.Counter("vab_reader_reacquire_attempts_total",
+			"Extra acquisition attempts at stepped-down thresholds."),
+		reacquireOK: reg.Counter("vab_reader_reacquire_successes_total",
+			"Bursts acquired only after threshold stepping."),
 		snrDB: reg.Histogram("vab_reader_snr_db",
 			"Per-frame tone SNR estimate in dB.",
 			telemetry.LinearBuckets(-10, 2, 25)),
@@ -233,6 +269,29 @@ func (r *Reader) Decode(capture, txRef []complex128, payloadLen int) RxReport {
 	sp := r.met.stages.Stage("acquire")
 	acq, err := r.demod.Acquire(y, r.cfg.AcquireThreshold)
 	sp.End()
+	if err != nil && r.cfg.Reacquire {
+		// Recovery: step the threshold down and retry, bounded. A burst
+		// whose preamble correlation was dented by an impulse train or a
+		// shadowing fade often still peaks above a relaxed threshold.
+		max, step, floor := r.cfg.reacquire()
+		thr := r.cfg.AcquireThreshold
+		for attempt := 0; attempt < max && err != nil; attempt++ {
+			thr -= step
+			if thr < floor {
+				thr = floor
+			}
+			r.met.reacquires.Inc()
+			sp = r.met.stages.Stage("reacquire")
+			acq, err = r.demod.Acquire(y, thr)
+			sp.End()
+			if thr == floor {
+				break
+			}
+		}
+		if err == nil {
+			r.met.reacquireOK.Inc()
+		}
+	}
 	if err != nil {
 		r.met.acquireFail.Inc()
 		rep.Err = fmt.Errorf("%w: %v", ErrNoBurst, err)

@@ -1,0 +1,84 @@
+package vanatta
+
+import (
+	"math/cmplx"
+	"testing"
+)
+
+// Killing elements must bleed retrodirective gain monotonically, and
+// ClearFaults must restore the healthy response bit for bit.
+func TestElementFaultsDegradeGain(t *testing.T) {
+	a := newLinear(t, 8)
+	dir := DirectionXZ(0.3)
+	healthy := a.Scatter(fc, dir, dir)
+
+	prev := cmplx.Abs(healthy)
+	for i := 0; i < a.N(); i++ {
+		a.SetElementFault(i, true)
+		got := cmplx.Abs(a.Scatter(fc, dir, dir))
+		if got > prev+1e-12 {
+			t.Fatalf("gain rose from %.6g to %.6g after killing element %d", prev, got, i)
+		}
+		prev = got
+	}
+	if prev != 0 {
+		t.Fatalf("all-dead array still scatters %.6g", prev)
+	}
+	if a.FailedElements() != a.N() {
+		t.Fatalf("FailedElements = %d, want %d", a.FailedElements(), a.N())
+	}
+
+	a.ClearFaults()
+	if got := a.Scatter(fc, dir, dir); got != healthy {
+		t.Fatalf("ClearFaults: scatter %v, want healthy %v", got, healthy)
+	}
+	if a.FailedElements() != 0 {
+		t.Fatal("FailedElements nonzero after ClearFaults")
+	}
+}
+
+// One dead element silences its whole pair: the partner's energy has
+// nowhere to go. Killing the partner too must change nothing further.
+func TestElementFaultKillsPair(t *testing.T) {
+	a := newLinear(t, 8)
+	dir := DirectionXZ(0.2)
+
+	a.SetElementFault(0, true)
+	one := cmplx.Abs(a.Scatter(fc, dir, dir))
+	// Element 0 pairs with the outermost mirror element (7 in an 8-array).
+	a.SetElementFault(7, true)
+	both := cmplx.Abs(a.Scatter(fc, dir, dir))
+	if one != both {
+		t.Fatalf("killing the dead element's partner changed gain: %.6g → %.6g", one, both)
+	}
+}
+
+func TestSpecularFaultsDegrade(t *testing.T) {
+	a := newLinear(t, 8)
+	dir := DirectionXZ(0)
+	healthy := cmplx.Abs(a.ScatterSpecular(fc, dir, dir))
+	a.SetElementFault(2, true)
+	a.SetElementFault(5, true)
+	faulted := cmplx.Abs(a.ScatterSpecular(fc, dir, dir))
+	if faulted >= healthy {
+		t.Fatalf("specular gain %.6g did not degrade from %.6g", faulted, healthy)
+	}
+}
+
+func TestSetElementFaultBounds(t *testing.T) {
+	a := newLinear(t, 4)
+	a.SetElementFault(-1, true)
+	a.SetElementFault(99, true)
+	if a.FailedElements() != 0 {
+		t.Fatal("out-of-range faults were recorded")
+	}
+	a.SetElementFault(1, true)
+	a.SetElementFault(1, true) // idempotent
+	if a.FailedElements() != 1 {
+		t.Fatalf("FailedElements = %d, want 1", a.FailedElements())
+	}
+	a.SetElementFault(1, false)
+	if a.FailedElements() != 0 {
+		t.Fatal("un-failing did not clear")
+	}
+}

@@ -79,6 +79,50 @@ type Array struct {
 	LineLossDB   float64 // one-way interconnect loss in dB
 	LineDelaySec float64 // nominal interconnect electrical delay in s
 	SoundSpeed   float64 // medium sound speed, m/s
+
+	// failed marks elements out of service (nil = all healthy). A pair
+	// with a failed member contributes nothing to the scattered field:
+	// whether the transducer flooded (dead) or its modulation switch
+	// jammed (stuck), the pair's energy no longer reaches the modulated
+	// retrodirective sum, so both failure modes cost the same conversion
+	// gain — the dominant effect field campaigns observe.
+	failed []bool
+}
+
+// SetElementFault marks element i failed (true) or healthy (false).
+// Out-of-range indices are ignored. Faults degrade Scatter and
+// ScatterSpecular by removing the affected pair (or self-paired element)
+// from the coherent sum.
+func (a *Array) SetElementFault(i int, fault bool) {
+	if i < 0 || i >= len(a.Positions) {
+		return
+	}
+	if a.failed == nil {
+		if !fault {
+			return
+		}
+		a.failed = make([]bool, len(a.Positions))
+	}
+	a.failed[i] = fault
+}
+
+// ClearFaults restores every element to service.
+func (a *Array) ClearFaults() { a.failed = nil }
+
+// FailedElements returns the number of elements currently out of service.
+func (a *Array) FailedElements() int {
+	n := 0
+	for _, f := range a.failed {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+// elementOK reports whether element i is in service.
+func (a *Array) elementOK(i int) bool {
+	return a.failed == nil || !a.failed[i]
 }
 
 // NewUniformLinear builds an n-element linear Van Atta array along x,
@@ -252,6 +296,9 @@ func (a *Array) Scatter(fHz float64, in, out Vec3) complex128 {
 	elem := resp * resp
 	var sum complex128
 	for _, p := range a.Pairs {
+		if !a.elementOK(p.A) || !a.elementOK(p.B) {
+			continue // a dead or stuck member breaks the whole pair's path
+		}
 		lg := a.lineGain(fHz, p)
 		phiInA := a.phase(fHz, in, p.A)
 		phiInB := a.phase(fHz, in, p.B)
@@ -261,6 +308,9 @@ func (a *Array) Scatter(fHz float64, in, out Vec3) complex128 {
 		sum += lg * (cmplx.Rect(1, phiInA+phiOutB) + cmplx.Rect(1, phiInB+phiOutA))
 	}
 	for _, s := range a.SelfPaired {
+		if !a.elementOK(s) {
+			continue
+		}
 		sum += cmplx.Rect(1, a.phase(fHz, in, s)+a.phase(fHz, out, s))
 	}
 	return elem * sum
@@ -276,6 +326,9 @@ func (a *Array) ScatterSpecular(fHz float64, in, out Vec3) complex128 {
 	elem := resp * resp
 	var sum complex128
 	for i := range a.Positions {
+		if !a.elementOK(i) {
+			continue
+		}
 		sum += cmplx.Rect(1, a.phase(fHz, in, i)+a.phase(fHz, out, i))
 	}
 	return elem * sum
