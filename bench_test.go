@@ -19,6 +19,7 @@ import (
 	"vab/internal/dsp"
 	"vab/internal/experiments"
 	"vab/internal/link"
+	"vab/internal/mac"
 	"vab/internal/ocean"
 	"vab/internal/phy"
 	"vab/internal/reader"
@@ -241,6 +242,54 @@ func BenchmarkSystemRound(b *testing.B) {
 	}
 	b.ReportMetric(float64(ok)/float64(b.N), "decode_rate")
 }
+
+// benchFleetCycle measures one full polling cycle of a 64-node deployment
+// at the given poll-pool width. The Serial/Parallel pair quantifies the
+// wave scheduler's speedup on whatever machine runs the suite — seeded
+// cycle output is bit-identical at every width, so the pair measures pure
+// scheduling, not behavioral drift.
+func benchFleetCycle(b *testing.B, workers int) {
+	env := ocean.CharlesRiver()
+	d, err := core.NewVanAttaDesign(core.DefaultNodeElements, env, core.DefaultCarrierHz)
+	if err != nil {
+		b.Fatal(err)
+	}
+	placements := make([]core.NodePlacement, 64)
+	for i := range placements {
+		placements[i] = core.NodePlacement{
+			Addr:        byte(i + 1),
+			Range:       40 + float64(i), // 40 m … 103 m: deliverable, so wave width stays 64
+			Orientation: 0.1 * float64(i%7),
+		}
+	}
+	f, err := core.NewFleet(
+		core.SystemConfig{Env: env, Design: d, Range: 1, Seed: 99},
+		placements, mac.DefaultPollPolicy(),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.SetWorkers(workers)
+	f.Deploy(3600)
+	if _, _, err := f.RunCycle(); err != nil { // warm plans and scratch
+		b.Fatal(err)
+	}
+	var polled, delivered int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, rep, err := f.RunCycle()
+		if err != nil {
+			b.Fatal(err)
+		}
+		polled += rep.Polled
+		delivered += rep.Delivered
+	}
+	b.ReportMetric(float64(delivered)/float64(polled), "delivery_rate")
+	b.ReportMetric(float64(polled)/float64(b.N), "nodes_per_cycle")
+}
+
+func BenchmarkFleetCycleSerial(b *testing.B)   { benchFleetCycle(b, 1) }
+func BenchmarkFleetCycleParallel(b *testing.B) { benchFleetCycle(b, 0) }
 
 func BenchmarkChannelRoundTrip(b *testing.B) {
 	l, err := channel.New(channel.Config{

@@ -30,6 +30,7 @@ import (
 	"vab/internal/core"
 	"vab/internal/dsp"
 	"vab/internal/experiments"
+	"vab/internal/mac"
 	"vab/internal/ocean"
 	"vab/internal/sim"
 )
@@ -108,6 +109,8 @@ func main() {
 	for i := range real1024 {
 		real1024[i] = rng.NormFloat64()
 	}
+	rfftDst := make([]complex128, 1024)
+	convDst := make([]complex128, 1024+64-1)
 
 	sweep := make([]sim.TrialConfig, 16)
 	for i := range sweep {
@@ -139,6 +142,32 @@ func main() {
 	linkGeom := channel.Geometry{ReaderDepth: 1.61, NodeDepth: 2.39, Range: 100.02}
 	var linkSeed int64
 
+	// Fleet-cycle workloads: one full 64-node polling cycle through the MAC
+	// wave scheduler, serial vs parallel pool. Seeded cycle output is
+	// bit-identical at both widths, so the pair measures pure scheduling.
+	mkFleet := func(workers int) *core.Fleet {
+		placements := make([]core.NodePlacement, 64)
+		for i := range placements {
+			placements[i] = core.NodePlacement{
+				Addr:        byte(i + 1),
+				Range:       40 + float64(i),
+				Orientation: 0.1 * float64(i%7),
+			}
+		}
+		f, err := core.NewFleet(
+			core.SystemConfig{Env: env, Design: design, Range: 1, Seed: 99},
+			placements, mac.DefaultPollPolicy(),
+		)
+		if err != nil {
+			fatal(err)
+		}
+		f.SetWorkers(workers)
+		f.Deploy(3600)
+		return f
+	}
+	fleetSerial := mkFleet(1)
+	fleetParallel := mkFleet(0)
+
 	// TDL engine crossover: identical sparse kernels through both engines.
 	tdlRng := rand.New(rand.NewSource(2))
 	mkTaps := func(n int) []channel.Tap {
@@ -167,7 +196,9 @@ func main() {
 		{"fft1024_into", func() { dsp.FFTInto(dst, x1024) }},
 		{"fft_bluestein1000_into", func() { dsp.FFTInto(dst[:1000], x1000) }},
 		{"rfft1024", func() { dsp.RFFT(real1024) }},
+		{"rfft1024_into", func() { dsp.RFFTInto(rfftDst, real1024) }},
 		{"convolve_1024x64", func() { dsp.Convolve(x1024, x1024[:64]) }},
+		{"convolve_1024x64_into", func() { dsp.ConvolveInto(convDst, x1024, x1024[:64]) }},
 		{"montecarlo_cell", func() {
 			if _, err := sim.RunCell(sweep[0]); err != nil {
 				fatal(err)
@@ -210,6 +241,16 @@ func main() {
 			}
 		}},
 		{"uplink_noise_into_16k", func() { lnk.UplinkInto(chDst, chTx, chTx) }},
+		{"fleet_cycle64_serial", func() {
+			if _, _, err := fleetSerial.RunCycle(); err != nil {
+				fatal(err)
+			}
+		}},
+		{"fleet_cycle64_parallel", func() {
+			if _, _, err := fleetParallel.RunCycle(); err != nil {
+				fatal(err)
+			}
+		}},
 		{"tdl_time_4taps_16k", func() { tdls["time_4taps"].Apply(tdlDst, tdlX) }},
 		{"tdl_freq_4taps_16k", func() { tdls["freq_4taps"].Apply(tdlDst, tdlX) }},
 		{"tdl_time_16taps_16k", func() { tdls["time_16taps"].Apply(tdlDst, tdlX) }},

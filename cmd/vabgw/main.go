@@ -14,6 +14,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -32,6 +33,7 @@ func main() {
 	interval := flag.Duration("interval", 2*time.Second, "polling cycle interval")
 	duration := flag.Duration("duration", 0, "exit after this long (0 = run until signal)")
 	envName := flag.String("env", "river", "environment: river or ocean")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines per polling cycle (waves of node rounds run concurrently; cycle output is bit-identical at any count)")
 	metricsAddr := flag.String("metrics", "", "ops endpoint address for /metrics, /healthz and pprof (empty = telemetry off)")
 	flag.Parse()
 
@@ -72,6 +74,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("vabgw: %v", err)
 	}
+	fleet.SetWorkers(*workers)
 	fleet.Deploy(3600)
 
 	srv, err := gateway.NewServer(ctx, *listen, log.Printf)

@@ -34,6 +34,18 @@ type Design interface {
 	Elements() int
 }
 
+// CloneableDesign is a Design that can duplicate itself with private
+// mutable state. NewFleet clones the base design once per node so that
+// element-fault injection — which mutates the design's array — cannot
+// race across the fleet's concurrent poll waves, and so one node's dead
+// elements never alter a neighbour's scatter gain.
+type CloneableDesign interface {
+	Design
+	// CloneDesign returns a deep copy whose mutable state (the array's
+	// geometry and fault flags) is independent of the receiver's.
+	CloneDesign() Design
+}
+
 // VanAttaDesign is the paper's node: an N-element Van Atta array of
 // piezoelectric transducers whose pair interconnects are toggled between a
 // through state (retrodirective reflection) and a matched termination
@@ -85,6 +97,15 @@ func (d *VanAttaDesign) ModulationDepth(fHz float64) float64 {
 	return d.Trans.ModulationDepth(fHz, d.OnLoad, d.OffLoad)
 }
 
+// CloneDesign implements CloneableDesign: the array (the only mutable
+// state — fault injection flips its element flags) is deep-copied, the
+// read-only transducer model is shared.
+func (d *VanAttaDesign) CloneDesign() Design {
+	c := *d
+	c.Array = d.Array.Clone()
+	return &c
+}
+
 // SpecularDesign is the ablation baseline with the same aperture as a Van
 // Atta array but elements terminated individually: it shows that the gain
 // of VAB comes from retrodirectivity, not merely from having N elements.
@@ -112,6 +133,14 @@ func (d *SpecularDesign) Name() string {
 func (d *SpecularDesign) ScatterField(fHz, theta float64) complex128 {
 	dir := vanatta.DirectionXZ(theta)
 	return d.Array.ScatterSpecular(fHz, dir, dir)
+}
+
+// CloneDesign implements CloneableDesign (the specular variant clones the
+// same underlying array).
+func (d *SpecularDesign) CloneDesign() Design {
+	c := *d
+	c.Array = d.Array.Clone()
+	return &c
 }
 
 // EffectiveGainDB returns the design's full conversion gain in dB at fHz

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
+	"sync/atomic"
 
 	"vab/internal/faults"
 	"vab/internal/mac"
@@ -14,16 +16,24 @@ import (
 // nodes through their individual channel geometries, under the MAC layer's
 // retry/liveness policy. It is the object a monitoring application holds —
 // cmd/vabgw and examples/coastal are thin wrappers around it.
+//
+// Cycles execute as waves (see mac.Scheduler): SetWorkers widens the poll
+// pool so a cycle's waveform rounds run concurrently, one worker per
+// node. Every System owns its channel, RNG stream, scratch buffers and —
+// via design cloning in NewFleet — its Van Atta array, so concurrent
+// rounds share no mutable state and cycle output is bit-identical at any
+// worker count.
 type Fleet struct {
 	sched   *mac.Scheduler
 	systems map[byte]*System
-	order   []byte
+	order   []byte // ascending node addresses
 	rate    *mac.RateController
 
 	// Link-quality accumulators across every decoded frame: corrected FEC
 	// bits per delivered frame is the campaign's residual-BER proxy.
-	frames    int64
-	corrected int64
+	// Atomic because concurrent wave polls all report through fleetTrx.
+	frames    atomic.Int64
+	corrected atomic.Int64
 }
 
 // NodePlacement positions one node of a fleet.
@@ -57,6 +67,14 @@ func NewFleet(base SystemConfig, placements []NodePlacement, policy mac.PollPoli
 		cfg.Orientation = p.Orientation
 		cfg.NodeDepth = p.Depth
 		cfg.Seed = base.Seed + int64(i+1)*1009
+		// Give each node its own design instance when the design supports
+		// it: element-fault injection mutates the design's array, so a
+		// shared instance would race under concurrent waves (and bleed one
+		// node's dead elements into a neighbour's cached gain even
+		// serially).
+		if cd, ok := base.Design.(CloneableDesign); ok {
+			cfg.Design = cd.CloneDesign()
+		}
 		s, err := NewSystem(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: node %d: %w", p.Addr, err)
@@ -65,20 +83,33 @@ func NewFleet(base SystemConfig, placements []NodePlacement, policy mac.PollPoli
 		f.order = append(f.order, p.Addr)
 		f.sched.AddNode(p.Addr)
 	}
+	// Reports and readings are assembled in ascending address order — the
+	// determinism contract's fixed output order — regardless of how the
+	// placements were listed.
+	sort.Slice(f.order, func(i, j int) bool { return f.order[i] < f.order[j] })
 	return f, nil
 }
 
-// fleetTrx adapts the per-node systems to the MAC scheduler.
+// SetWorkers bounds the concurrent poll pool RunCycle fans each wave
+// over: n <= 0 selects runtime.NumCPU(), 1 (the default) polls serially.
+// Seeded cycle output is bit-identical at any width — only wall clock
+// changes, from O(nodes) rounds per cycle to O(nodes/workers).
+func (f *Fleet) SetWorkers(n int) { f.sched.SetWorkers(n) }
+
+// fleetTrx adapts the per-node systems to the MAC scheduler. It
+// implements mac.WaveTransceiver: concurrent polls are safe because every
+// poll touches only its own node's System (plus the fleet's atomic
+// accumulators).
 type fleetTrx struct{ f *Fleet }
 
-// Poll implements mac.Transceiver.
+// Poll implements mac.Transceiver — the path taken when no rate
+// controller is attached (or by external callers driving the transceiver
+// directly): the controller's current command is applied inline.
 func (t fleetTrx) Poll(addr byte) (mac.RoundResult, error) {
 	s, ok := t.f.systems[addr]
 	if !ok {
 		return mac.RoundResult{}, fmt.Errorf("core: unknown node %d", addr)
 	}
-	// Rate stepdown actuation: if the controller moved since this node's
-	// last poll, rebuild its PHY chain at the commanded chip rate.
 	if t.f.rate != nil {
 		if r := t.f.rate.Rate(); r != s.ChipRate() {
 			if err := s.SetChipRate(r); err != nil {
@@ -86,6 +117,29 @@ func (t fleetTrx) Poll(addr byte) (mac.RoundResult, error) {
 			}
 		}
 	}
+	return t.poll(s)
+}
+
+// PollAt implements mac.WaveTransceiver: the scheduler snapshots the rate
+// controller's command once per wave and the worker that owns the polled
+// system applies it here — rate stepdown actuation without any shared
+// read of the controller from inside a wave.
+func (t fleetTrx) PollAt(addr byte, chipRate float64) (mac.RoundResult, error) {
+	s, ok := t.f.systems[addr]
+	if !ok {
+		return mac.RoundResult{}, fmt.Errorf("core: unknown node %d", addr)
+	}
+	if chipRate > 0 && chipRate != s.ChipRate() {
+		if err := s.SetChipRate(chipRate); err != nil {
+			return mac.RoundResult{}, err
+		}
+	}
+	return t.poll(s)
+}
+
+// poll runs one waveform round against a node system and maps the result
+// into MAC terms.
+func (t fleetTrx) poll(s *System) (mac.RoundResult, error) {
 	s.WakeNode(30)
 	rep, err := s.RunRound()
 	if err != nil {
@@ -94,8 +148,8 @@ func (t fleetTrx) Poll(addr byte) (mac.RoundResult, error) {
 	if !rep.Rx.OK() {
 		return mac.RoundResult{}, nil
 	}
-	t.f.frames++
-	t.f.corrected += int64(rep.Rx.Corrected)
+	t.f.frames.Add(1)
+	t.f.corrected.Add(int64(rep.Rx.Corrected))
 	snr := 0.0
 	if rep.ToneSNREst > 0 {
 		snr = 10 * math.Log10(rep.ToneSNREst)
@@ -142,7 +196,9 @@ func (f *Fleet) Scheduler() *mac.Scheduler { return f.sched }
 // LinkQuality returns the running totals of delivered frames and FEC
 // corrections inside them — corrected/frames tracks how close delivered
 // traffic sat to the FEC cliff.
-func (f *Fleet) LinkQuality() (frames, corrected int64) { return f.frames, f.corrected }
+func (f *Fleet) LinkQuality() (frames, corrected int64) {
+	return f.frames.Load(), f.corrected.Load()
+}
 
 // Deploy charges every node for the given duration (the pre-campaign
 // soak).
@@ -160,13 +216,19 @@ type FleetReading struct {
 }
 
 // RunCycle polls every live node once (with the policy's retries) and
-// returns the decoded readings.
+// returns the decoded readings in ascending address order.
 func (f *Fleet) RunCycle() ([]FleetReading, mac.CycleReport, error) {
 	rep, err := f.sched.RunCycle()
 	if err != nil {
 		return nil, rep, err
 	}
-	var out []FleetReading
+	// One address→SNR pass up front: rescanning sched.Nodes() per
+	// delivered payload made reading assembly O(N²) in fleet size.
+	snr := make(map[byte]float64, len(f.order))
+	for _, st := range f.sched.Nodes() {
+		snr[st.Addr] = st.LastSNRdB
+	}
+	out := make([]FleetReading, 0, len(rep.Payloads))
 	for _, addr := range f.order {
 		payload, ok := rep.Payloads[addr]
 		if !ok {
@@ -176,13 +238,7 @@ func (f *Fleet) RunCycle() ([]FleetReading, mac.CycleReport, error) {
 		if !ok {
 			continue
 		}
-		var snr float64
-		for _, st := range f.sched.Nodes() {
-			if st.Addr == addr {
-				snr = st.LastSNRdB
-			}
-		}
-		out = append(out, FleetReading{Addr: addr, Reading: rd, SNRdB: snr})
+		out = append(out, FleetReading{Addr: addr, Reading: rd, SNRdB: snr[addr]})
 	}
 	return out, rep, nil
 }

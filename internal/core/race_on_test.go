@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active. sync.Pool
+// intentionally drops items under the race detector to shake out unsynchronized
+// reuse, so steady-state allocation pins on pooled-scratch paths are skipped.
+const raceEnabled = true

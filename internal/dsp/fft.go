@@ -76,12 +76,34 @@ func transformInto(dst, src []complex128, inverse bool) {
 // transformed once, and the spectrum unpacked from the fold's conjugate
 // symmetry — roughly halving the work of the naive real-as-complex path.
 func RFFT(x []float64) []complex128 {
-	n := len(x)
-	if n == 0 {
+	if len(x) == 0 {
 		return nil
 	}
+	out := make([]complex128, len(x))
+	RFFTInto(out, x)
+	return out
+}
+
+// RFFTInto computes the DFT of the real sequence x into dst
+// (len(dst) == len(x)) — the steady-state form of RFFT: once the size's
+// plan is cached it allocates nothing. dst must not overlap x's backing
+// array (they have different element types, so they never do in practice).
+func RFFTInto(dst []complex128, x []float64) {
+	n := len(x)
+	if len(dst) != n {
+		panic("dsp: RFFTInto length mismatch")
+	}
+	if n == 0 {
+		return
+	}
 	if n%2 != 0 || n < 4 {
-		return FFT(ToComplex(x))
+		// Odd or tiny lengths: widen in place and transform (FFTInto and
+		// the Bluestein plan both tolerate dst == src).
+		for i, v := range x {
+			dst[i] = complex(v, 0)
+		}
+		FFTInto(dst, dst)
+		return
 	}
 	h := n / 2
 	s := getScratch(h)
@@ -96,7 +118,6 @@ func RFFT(x []float64) []complex128 {
 	//   Xo[k] = (Z[k] - conj(Z[h-k]))/(2i)     (spectrum of the odd samples)
 	//   X[k]  = Xe[k] + e^{-2πik/n}·Xo[k]
 	// and the upper half follows from real-input conjugate symmetry.
-	out := make([]complex128, n)
 	var tw []complex128 // e^{-2πik/n} for k < h; the radix-2 table when cached
 	if IsPow2(n) {
 		tw = radix2PlanFor(n).wFwd
@@ -110,15 +131,14 @@ func RFFT(x []float64) []complex128 {
 		} else {
 			w = cmplx.Rect(1, -Tau*float64(k)/float64(n))
 		}
-		out[k] = ze + w*zo
+		dst[k] = ze + w*zo
 	}
-	out[0] = complex(real(z[0])+imag(z[0]), 0)
-	out[h] = complex(real(z[0])-imag(z[0]), 0)
+	dst[0] = complex(real(z[0])+imag(z[0]), 0)
+	dst[h] = complex(real(z[0])-imag(z[0]), 0)
 	for k := 1; k < h; k++ {
-		out[n-k] = cmplx.Conj(out[k])
+		dst[n-k] = cmplx.Conj(dst[k])
 	}
 	putScratch(s)
-	return out
 }
 
 // FFTFreqs returns the frequency in hertz of each DFT bin for an n-point
@@ -153,7 +173,27 @@ func Convolve(a, b []complex128) []complex128 {
 	if len(a) == 0 || len(b) == 0 {
 		return nil
 	}
+	out := make([]complex128, len(a)+len(b)-1)
+	ConvolveInto(out, a, b)
+	return out
+}
+
+// ConvolveInto computes the full linear convolution of a and b into dst,
+// which must have length len(a)+len(b)-1 — the steady-state form of
+// Convolve: once the transform size's plan is cached it allocates
+// nothing. dst may alias a or b (the products are formed entirely in
+// pooled scratch before dst is written).
+func ConvolveInto(dst, a, b []complex128) {
+	if len(a) == 0 || len(b) == 0 {
+		if len(dst) != 0 {
+			panic("dsp: ConvolveInto length mismatch")
+		}
+		return
+	}
 	n := len(a) + len(b) - 1
+	if len(dst) != n {
+		panic("dsp: ConvolveInto length mismatch")
+	}
 	m := NextPow2(n)
 	p := radix2PlanFor(m)
 	sa, sb := getScratch(m), getScratch(m)
@@ -173,13 +213,11 @@ func Convolve(a, b []complex128) []complex128 {
 	}
 	p.inPlace(fa, true)
 	inv := complex(1/float64(m), 0)
-	out := make([]complex128, n)
-	for i := range out {
-		out[i] = fa[i] * inv
+	for i := range dst {
+		dst[i] = fa[i] * inv
 	}
 	putScratch(sa)
 	putScratch(sb)
-	return out
 }
 
 // PowerSpectrum returns |FFT(x)|²/n for each bin, a periodogram estimate of

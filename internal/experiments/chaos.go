@@ -38,9 +38,11 @@ type chaosCell struct {
 // cycles under the scaled scenario, with the recovery stack (reader
 // reacquisition, MAC probation, rate stepdown) on or off. Every cell
 // builds its own design — element faults mutate the array, so sharing one
-// across concurrent cells would race.
+// across concurrent cells would race (and NewFleet additionally clones it
+// per node). workers widens the fleet's per-cycle poll pool; cell output
+// is bit-identical at any width.
 func runChaosCell(sc faults.Scenario, intensity float64, recovery bool,
-	cycles int, seed int64) (chaosCell, error) {
+	cycles int, seed int64, workers int) (chaosCell, error) {
 
 	cell := chaosCell{intensity: intensity, recovery: recovery, nodes: 4, cycles: cycles}
 	env := ocean.CharlesRiver()
@@ -78,6 +80,7 @@ func runChaosCell(sc faults.Scenario, intensity float64, recovery bool,
 		return cell, err
 	}
 	fleet.SetFaultEngine(eng)
+	fleet.SetWorkers(workers)
 	fleet.Deploy(3600)
 
 	for c := 0; c < cycles; c++ {
@@ -159,7 +162,8 @@ func E11Chaos(opts Options) (*Result, error) {
 	}
 	cells := make([]chaosCell, len(jobs))
 	errs := make([]error, len(jobs))
-	workers := opts.workers()
+	fleetWorkers := opts.workers() // per-cell fleet poll-pool width
+	workers := fleetWorkers
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
@@ -175,7 +179,7 @@ func E11Chaos(opts Options) (*Result, error) {
 					return
 				}
 				j := jobs[i]
-				cells[i], errs[i] = runChaosCell(sc, j.intensity, j.recovery, cycles, j.seed)
+				cells[i], errs[i] = runChaosCell(sc, j.intensity, j.recovery, cycles, j.seed, fleetWorkers)
 			}
 		}()
 	}

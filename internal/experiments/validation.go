@@ -2,11 +2,16 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"vab/internal/core"
 	"vab/internal/ocean"
 	"vab/internal/sim"
 )
+
+// x3Ranges is the river range axis X3 validates the budget tier over.
+var x3Ranges = []float64{50, 100, 150, 200, 250}
 
 // X3WaveformValidation cross-validates the two fidelity tiers at the frame
 // level: for each river range it runs full waveform query-response rounds
@@ -14,6 +19,12 @@ import (
 // measured single-shot frame delivery against the budget tier's
 // Monte-Carlo prediction. This is the experiment that earns the wide
 // budget-tier sweeps (E1, E3, E6, E10) their credibility.
+//
+// The per-range jobs are independent — each builds its own System and
+// Monte-Carlo cell from seeds derived from (opts.Seed, range) alone — so
+// they run concurrently on opts.Workers goroutines with the table
+// assembled in fixed range order afterwards: output is byte-identical at
+// any worker count.
 func X3WaveformValidation(opts Options) (*Result, error) {
 	env := ocean.CharlesRiver()
 	d, err := core.NewVanAttaDesign(core.DefaultNodeElements, env, core.DefaultCarrierHz)
@@ -30,41 +41,81 @@ func X3WaveformValidation(opts Options) (*Result, error) {
 	res := &Result{ID: "X3", Title: "Cross-tier frame-delivery validation", Kind: "table", Table: t,
 		Metrics: map[string]float64{}}
 
-	var worstGap float64
-	for _, rng := range []float64{50, 100, 150, 200, 250} {
-		// Waveform tier.
+	type rangeOut struct{ wf, bud float64 }
+	outs := make([]rangeOut, len(x3Ranges))
+	errs := make([]error, len(x3Ranges))
+	runRange := func(i int) error {
+		rng := x3Ranges[i]
+		// Waveform tier. The design is shared read-only across jobs (no
+		// fault engine here), each System owns everything else.
 		s, err := core.NewSystem(core.SystemConfig{
 			Env: env, Design: d, Range: rng, NodeAddr: 3, Seed: opts.Seed + int64(rng),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s.WakeNode(3600)
 		ok := 0
-		for i := 0; i < rounds; i++ {
+		for r := 0; r < rounds; r++ {
 			s.WakeNode(30)
 			rep, err := s.RunRound()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if rep.Rx.OK() {
 				ok++
 			}
 		}
-		wf := float64(ok) / float64(rounds)
-
 		// Budget tier: frame-loss prediction from the fading Monte-Carlo.
-		b := s.PredictedBudget()
 		cell, err := sim.RunCell(sim.TrialConfig{
-			Budget: b, RangeM: rng, Trials: 2000,
+			Budget: s.PredictedBudget(), RangeM: rng, Trials: 2000,
 			ChipsPerTrial: chipsPerFrame, Seed: opts.Seed + 1,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		bud := 1 - cell.FrameLoss
-		t.AddRowf(rng, 100*wf, 100*bud)
-		if gap := bud - wf; gap > worstGap {
+		outs[i] = rangeOut{wf: float64(ok) / float64(rounds), bud: 1 - cell.FrameLoss}
+		return nil
+	}
+
+	workers := opts.workers()
+	if workers > len(x3Ranges) {
+		workers = len(x3Ranges)
+	}
+	if workers <= 1 {
+		for i := range x3Ranges {
+			if err := runRange(i); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(x3Ranges) {
+						return
+					}
+					errs[i] = runRange(i)
+				}
+			}()
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("x3 range %.0f m: %w", x3Ranges[i], err)
+			}
+		}
+	}
+
+	var worstGap float64
+	for i, rng := range x3Ranges {
+		t.AddRowf(rng, 100*outs[i].wf, 100*outs[i].bud)
+		if gap := outs[i].bud - outs[i].wf; gap > worstGap {
 			worstGap = gap
 		}
 	}

@@ -11,9 +11,15 @@
 package mac
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"runtime/pprof"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"vab/internal/telemetry"
 )
@@ -97,9 +103,24 @@ type RoundResult struct {
 
 // Transceiver abstracts the physical exchange: the scheduler calls Poll
 // once per attempt. Implementations wrap core.System (waveform-level) or a
-// link-budget sampler (campaign-level).
+// link-budget sampler (campaign-level). When the scheduler's worker pool
+// is widened past one (SetWorkers), Poll must tolerate concurrent calls
+// for *different* addresses — the pool never polls one address twice at
+// once.
 type Transceiver interface {
 	Poll(addr byte) (RoundResult, error)
+}
+
+// WaveTransceiver is an optional Transceiver extension for rate-adapted
+// fleets. The scheduler snapshots the rate controller's command once per
+// execution wave and hands the same chip rate to every poll of that wave,
+// so the worker that owns the polled node's PHY applies the stepdown
+// itself and no poll ever observes a half-stepped controller — the
+// property that keeps concurrent cycles bit-identical to serial ones.
+// A chipRate of 0 means "no command" (no controller attached).
+type WaveTransceiver interface {
+	Transceiver
+	PollAt(addr byte, chipRate float64) (RoundResult, error)
 }
 
 // NodeState tracks scheduler bookkeeping per node.
@@ -127,14 +148,23 @@ type NodeState struct {
 }
 
 // Scheduler runs the polling MAC over a set of node addresses.
+//
+// RunCycle is split into a pure decision phase (which nodes this cycle
+// owes a poll, probation and retry bookkeeping — always executed on the
+// caller's goroutine in ascending address order) and an execution phase
+// that fans each wave of polls over a bounded worker pool. Waves are
+// separated by barriers: retry decisions for wave n+1 only ever see the
+// complete results of wave n, so a cycle's outcome is bit-identical at
+// any pool width.
 type Scheduler struct {
-	policy PollPolicy
-	trx    Transceiver
-	nodes  map[byte]*NodeState
-	order  []byte
-	cycle  int // completed RunCycle count (the probation clock)
-	rate   *RateController
-	met    macMetrics
+	policy  PollPolicy
+	trx     Transceiver
+	nodes   map[byte]*NodeState
+	order   []byte
+	cycle   int // completed RunCycle count (the probation clock)
+	rate    *RateController
+	workers int // execution-phase pool width (0 or 1 = serial)
+	met     macMetrics
 }
 
 // macMetrics instruments the polling loop. Zero value = noop.
@@ -150,6 +180,11 @@ type macMetrics struct {
 	liveNodes   *telemetry.Gauge
 	pollTime    *telemetry.Histogram
 	recoveryLat *telemetry.Histogram // cycles from quarantine entry to restore
+
+	waveWidth *telemetry.Histogram // polls fanned out per execution wave
+	waveOcc   *telemetry.Histogram // busy fraction of the configured pool
+	straggler *telemetry.Histogram // wave wall time beyond a balanced pool
+	poolSize  *telemetry.Gauge     // configured execution-pool width
 }
 
 // Instrument registers MAC metrics in reg and starts recording. Call
@@ -182,8 +217,19 @@ func (s *Scheduler) Instrument(reg *telemetry.Registry) {
 		recoveryLat: reg.Histogram("vab_mac_recovery_cycles",
 			"Cycles a node spent quarantined before a probe restored it.",
 			telemetry.LinearBuckets(1, 4, 16)),
+		waveWidth: reg.Histogram("vab_mac_wave_width",
+			"Polls fanned out per execution wave.",
+			telemetry.LinearBuckets(1, 8, 16)),
+		waveOcc: reg.Histogram("vab_mac_wave_pool_occupancy",
+			"Fraction of the configured worker pool busy during a wave.",
+			telemetry.LinearBuckets(0.125, 0.125, 8)),
+		straggler: reg.Histogram("vab_mac_wave_straggler_seconds",
+			"Wave wall time in excess of a perfectly balanced pool (straggler overhang).", nil),
+		poolSize: reg.Gauge("vab_mac_wave_pool_size",
+			"Configured execution-phase worker-pool width."),
 	}
 	s.met.liveNodes.Set(float64(s.liveCount()))
+	s.met.poolSize.Set(float64(s.poolWidth()))
 }
 
 // liveCount returns the number of nodes still in the regular schedule
@@ -263,28 +309,81 @@ type CycleReport struct {
 	Payloads  map[byte][]byte
 }
 
+// SetWorkers bounds the execution-phase worker pool: each wave's polls
+// run on up to n goroutines. n <= 0 selects runtime.NumCPU(); the default
+// (and n == 1) polls serially on the caller's goroutine. Widths above one
+// require the transceiver to tolerate concurrent Poll/PollAt calls for
+// distinct addresses (core.Fleet does: each node's System owns its
+// channel, RNG stream and scratch). Cycle outcomes — reports, payloads,
+// node state, rate decisions — are bit-identical at any width; only wall
+// clock changes.
+func (s *Scheduler) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	s.workers = n
+	s.met.poolSize.Set(float64(n))
+}
+
+// poolWidth resolves the configured pool width (≥ 1).
+func (s *Scheduler) poolWidth() int {
+	if s.workers <= 0 {
+		return 1
+	}
+	return s.workers
+}
+
+// waveSlot is one poll of an execution wave: the decision phase fills the
+// target, the execution phase fills the outcome.
+type waveSlot struct {
+	st    *NodeState
+	probe bool
+	res   RoundResult
+	err   error
+	dur   time.Duration
+}
+
 // RunCycle polls every live node once (with retries), re-probes any
 // quarantined node whose backoff has elapsed, and returns the cycle
 // summary.
+//
+// The cycle runs as a sequence of waves. Wave 0 carries every scheduled
+// poll plus the due re-probes; wave n+1 carries the retries of wave n's
+// failed polls (probes are single-attempt and never retry). Polls within
+// a wave are independent — each targets a distinct node — so the wave
+// fans out over the worker pool (SetWorkers) and a barrier collects it
+// before any retry or probation decision is made. All node-state
+// mutation, report assembly and rate-controller feeding happen between
+// waves on the caller's goroutine in ascending address order, which is
+// what makes the cycle bit-identical at any pool width.
 func (s *Scheduler) RunCycle() (CycleReport, error) {
 	rep := CycleReport{Payloads: make(map[byte][]byte)}
 	cycle := s.cycle
 	s.cycle++
+
+	// Decision phase: the polls this cycle owes, in ascending address
+	// order — every live node, plus quarantined nodes whose re-probe
+	// backoff has elapsed.
+	wave := make([]waveSlot, 0, len(s.order))
 	for _, addr := range s.order {
 		st := s.nodes[addr]
-		if st.Dropped {
-			continue
-		}
-		if st.Quarantined {
-			if err := s.probe(st, cycle, &rep); err != nil {
-				return rep, err
+		switch {
+		case st.Dropped:
+		case st.Quarantined:
+			if cycle >= st.nextProbe {
+				wave = append(wave, waveSlot{st: st, probe: true})
 			}
-			continue
+		default:
+			wave = append(wave, waveSlot{st: st})
 		}
-		rep.Polled++
-		delivered := false
-		var snr float64
-		for attempt := 0; attempt <= s.policy.MaxRetries; attempt++ {
+	}
+	rep.Polled = len(wave)
+
+	for attempt := 0; len(wave) > 0; attempt++ {
+		// Pre-dispatch bookkeeping, in address order so the counters a
+		// serial run would produce are reproduced exactly.
+		for i := range wave {
+			st := wave[i].st
 			st.Polls++
 			s.met.polls.Inc()
 			if attempt > 0 {
@@ -292,97 +391,178 @@ func (s *Scheduler) RunCycle() (CycleReport, error) {
 				rep.Retries++
 				s.met.retries.Inc()
 			}
-			sp := telemetry.StartSpan(s.met.pollTime)
-			res, err := s.trx.Poll(addr)
-			sp.End()
-			if err != nil {
-				return rep, fmt.Errorf("mac: poll %d: %w", addr, err)
-			}
-			if res.OK {
-				st.Successes++
-				st.LastSNRdB = res.SNRdB
-				snr = res.SNRdB
-				rep.Payloads[addr] = res.Payload
-				delivered = true
-				break
-			}
-			s.met.timeouts.Inc()
-		}
-		observeHealth(st, delivered)
-		if s.rate != nil {
-			if delivered {
-				s.rate.Observe(snr)
-			} else {
-				s.rate.ObserveLoss()
+			if wave[i].probe {
+				rep.Probes++
+				s.met.probes.Inc()
 			}
 		}
-		if delivered {
-			st.SilentCycles = 0
-			rep.Delivered++
-			s.met.delivered.Inc()
-		} else {
-			st.SilentCycles++
-			if s.policy.DropAfter > 0 && st.SilentCycles >= s.policy.DropAfter {
-				if s.policy.Probation {
-					st.Quarantined = true
-					st.QuarantineEntries++
-					st.quarantinedAt = cycle
-					st.probeInterval = s.policy.probeBase()
-					st.nextProbe = cycle + st.probeInterval
-					s.met.quarantined.Inc()
-				} else {
-					st.Dropped = true
-					s.met.dropped.Inc()
+
+		s.runWave(wave)
+
+		// Barrier passed: fold the wave's results into scheduler state in
+		// address order and decide the retry wave.
+		retry := wave[:0:0]
+		for i := range wave {
+			slot := &wave[i]
+			st := slot.st
+			if slot.err != nil {
+				kind := "poll"
+				if slot.probe {
+					kind = "probe"
 				}
-				s.met.liveNodes.Set(float64(s.liveCount()))
+				return rep, fmt.Errorf("mac: %s %d: %w", kind, st.Addr, slot.err)
+			}
+			switch {
+			case slot.res.OK:
+				s.finishDelivered(slot, cycle, &rep)
+			case slot.probe:
+				s.met.timeouts.Inc()
+				s.finishFailedProbe(st, cycle)
+			case attempt < s.policy.MaxRetries:
+				s.met.timeouts.Inc()
+				retry = append(retry, waveSlot{st: st})
+			default:
+				s.met.timeouts.Inc()
+				s.finishFailedPoll(st, cycle)
 			}
 		}
+		wave = retry
 	}
 	return rep, nil
 }
 
-// probe runs one single-attempt re-probe of a quarantined node when its
-// backoff has elapsed: success restores the node to the schedule, failure
-// doubles the backoff up to the policy cap. Probes deliberately skip the
-// retry budget — a node that is still down should cost the cycle as
-// little airtime as possible.
-func (s *Scheduler) probe(st *NodeState, cycle int, rep *CycleReport) error {
-	if cycle < st.nextProbe {
-		return nil
+// runWave executes one wave of polls over the worker pool. The rate
+// controller's command is snapshotted once, before dispatch, and handed
+// to every poll through the WaveTransceiver extension; the controller is
+// never read or written while workers are in flight.
+func (s *Scheduler) runWave(wave []waveSlot) {
+	var cmdRate float64
+	wt, snapshot := s.trx.(WaveTransceiver)
+	snapshot = snapshot && s.rate != nil
+	if snapshot {
+		cmdRate = s.rate.Rate()
 	}
-	rep.Polled++
-	rep.Probes++
-	st.Polls++
-	s.met.polls.Inc()
-	s.met.probes.Inc()
-	sp := telemetry.StartSpan(s.met.pollTime)
-	res, err := s.trx.Poll(st.Addr)
-	sp.End()
-	if err != nil {
-		return fmt.Errorf("mac: probe %d: %w", st.Addr, err)
-	}
-	if !res.OK {
-		s.met.timeouts.Inc()
-		observeHealth(st, false)
-		st.probeInterval *= 2
-		if max := s.policy.probeMax(); st.probeInterval > max {
-			st.probeInterval = max
+	poll := func(slot *waveSlot) {
+		start := time.Now()
+		if snapshot {
+			slot.res, slot.err = wt.PollAt(slot.st.Addr, cmdRate)
+		} else {
+			slot.res, slot.err = s.trx.Poll(slot.st.Addr)
 		}
-		st.nextProbe = cycle + st.probeInterval
-		return nil
+		slot.dur = time.Since(start)
 	}
-	st.Quarantined = false
-	st.SilentCycles = 0
+
+	workers := s.poolWidth()
+	if workers > len(wave) {
+		workers = len(wave)
+	}
+	start := time.Now()
+	if workers == 1 {
+		for i := range wave {
+			poll(&wave[i])
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				// One pprof label per worker, not per poll: CPU profiles
+				// attribute wave execution via `go tool pprof -tags`.
+				pprof.Do(context.Background(), pprof.Labels("vab_stage", "mac_poll"), func(context.Context) {
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(wave) {
+							return
+						}
+						poll(&wave[i])
+					}
+				})
+			}()
+		}
+		wg.Wait()
+	}
+	s.observeWave(wave, workers, time.Since(start))
+}
+
+// observeWave records the wave's telemetry: its width, how much of the
+// configured pool it kept busy, per-poll latencies, and the straggler
+// overhang — wall time beyond sum(poll durations)/workers, i.e. what a
+// perfectly balanced pool would not have spent.
+func (s *Scheduler) observeWave(wave []waveSlot, workers int, wall time.Duration) {
+	var sum time.Duration
+	for i := range wave {
+		s.met.pollTime.Observe(wave[i].dur.Seconds())
+		sum += wave[i].dur
+	}
+	s.met.waveWidth.Observe(float64(len(wave)))
+	s.met.waveOcc.Observe(float64(workers) / float64(s.poolWidth()))
+	if overhang := wall - sum/time.Duration(workers); overhang > 0 {
+		s.met.straggler.Observe(overhang.Seconds())
+	} else {
+		s.met.straggler.Observe(0)
+	}
+}
+
+// finishDelivered folds a delivered poll (or restoring probe) into the
+// node and cycle state.
+func (s *Scheduler) finishDelivered(slot *waveSlot, cycle int, rep *CycleReport) {
+	st := slot.st
 	st.Successes++
-	st.LastSNRdB = res.SNRdB
-	observeHealth(st, true)
-	rep.Payloads[st.Addr] = res.Payload
+	st.LastSNRdB = slot.res.SNRdB
+	st.SilentCycles = 0
+	rep.Payloads[st.Addr] = slot.res.Payload
 	rep.Delivered++
 	s.met.delivered.Inc()
-	s.met.restored.Inc()
-	s.met.recoveryLat.Observe(float64(cycle - st.quarantinedAt + 1))
-	s.met.liveNodes.Set(float64(s.liveCount()))
-	return nil
+	observeHealth(st, true)
+	if slot.probe {
+		st.Quarantined = false
+		s.met.restored.Inc()
+		s.met.recoveryLat.Observe(float64(cycle - st.quarantinedAt + 1))
+		s.met.liveNodes.Set(float64(s.liveCount()))
+		return // probes are off-schedule and never feed the rate controller
+	}
+	if s.rate != nil {
+		s.rate.Observe(slot.res.SNRdB)
+	}
+}
+
+// finishFailedProbe doubles a quarantined node's re-probe backoff up to
+// the policy cap. Probes deliberately skip the retry budget — a node that
+// is still down should cost the cycle as little airtime as possible.
+func (s *Scheduler) finishFailedProbe(st *NodeState, cycle int) {
+	observeHealth(st, false)
+	st.probeInterval *= 2
+	if max := s.policy.probeMax(); st.probeInterval > max {
+		st.probeInterval = max
+	}
+	st.nextProbe = cycle + st.probeInterval
+}
+
+// finishFailedPoll applies the liveness policy to a node whose retry
+// budget is exhausted: count the silent cycle and quarantine or drop it
+// once the threshold is reached.
+func (s *Scheduler) finishFailedPoll(st *NodeState, cycle int) {
+	observeHealth(st, false)
+	if s.rate != nil {
+		s.rate.ObserveLoss()
+	}
+	st.SilentCycles++
+	if s.policy.DropAfter > 0 && st.SilentCycles >= s.policy.DropAfter {
+		if s.policy.Probation {
+			st.Quarantined = true
+			st.QuarantineEntries++
+			st.quarantinedAt = cycle
+			st.probeInterval = s.policy.probeBase()
+			st.nextProbe = cycle + st.probeInterval
+			s.met.quarantined.Inc()
+		} else {
+			st.Dropped = true
+			s.met.dropped.Inc()
+		}
+		s.met.liveNodes.Set(float64(s.liveCount()))
+	}
 }
 
 // DeliveryRatio returns delivered/polled across all completed cycles for a

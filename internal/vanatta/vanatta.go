@@ -109,6 +109,21 @@ func (a *Array) SetElementFault(i int, fault bool) {
 // ClearFaults restores every element to service.
 func (a *Array) ClearFaults() { a.failed = nil }
 
+// Clone returns a deep copy of the array: geometry, pairing and fault
+// state are private to the copy, so fault injection on one clone can
+// never be observed by — or race with — another. Only the immutable
+// transducer model is shared.
+func (a *Array) Clone() *Array {
+	b := *a
+	b.Positions = append([]Vec3(nil), a.Positions...)
+	b.Pairs = append([]Pair(nil), a.Pairs...)
+	b.SelfPaired = append([]int(nil), a.SelfPaired...)
+	if a.failed != nil {
+		b.failed = append([]bool(nil), a.failed...)
+	}
+	return &b
+}
+
 // FailedElements returns the number of elements currently out of service.
 func (a *Array) FailedElements() int {
 	n := 0
