@@ -24,12 +24,14 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"vab/internal/channel"
 	"vab/internal/core"
 	"vab/internal/dsp"
 	"vab/internal/experiments"
+	"vab/internal/linksim"
 	"vab/internal/mac"
 	"vab/internal/ocean"
 	"vab/internal/sim"
@@ -43,12 +45,15 @@ type result struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
-// report is the emitted JSON document.
+// report is the emitted JSON document. GOMAXPROCS is recorded alongside
+// the CPU count so parallel-workload numbers can be interpreted on boxes
+// where the two differ (container quotas, taskset, GOMAXPROCS overrides).
 type report struct {
-	Date    string   `json:"date"`
-	Go      string   `json:"go"`
-	CPUs    int      `json:"cpus"`
-	Results []result `json:"results"`
+	Date       string   `json:"date"`
+	Go         string   `json:"go"`
+	CPUs       int      `json:"cpus"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Results    []result `json:"results"`
 }
 
 // measure calibrates f with one warm-up call, then runs it enough times to
@@ -92,6 +97,7 @@ func main() {
 	out := flag.String("out", "", `output path (default BENCH_<yyyy-mm-dd>.json, "-" for stdout)`)
 	budget := flag.Float64("time", 1.0, "seconds of measurement per workload")
 	compare := flag.String("compare", "", "previous vabbench snapshot to diff against (warns on >20% ns/op regressions)")
+	filter := flag.String("filter", "", "run only workloads whose name contains this substring")
 	flag.Parse()
 
 	env := ocean.CharlesRiver()
@@ -167,6 +173,25 @@ func main() {
 	}
 	fleetSerial := mkFleet(1)
 	fleetParallel := mkFleet(0)
+
+	// Abstract-tier workloads: one 100k-node polling cycle on the
+	// calibrated link model (no heroes — pure model cost). Divide by nodes
+	// and compare against fleet_cycle64/64 for the per-node speedup of the
+	// abstraction over the waveform tier.
+	mkAbstract := func(workers int) *linksim.Fleet {
+		f, err := linksim.NewFleet(linksim.Config{
+			Nodes:  100_000,
+			Policy: mac.DefaultPollPolicy(),
+			Seed:   99,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		f.SetWorkers(workers)
+		return f
+	}
+	abstractSerial := mkAbstract(1)
+	abstractParallel := mkAbstract(0)
 
 	// TDL engine crossover: identical sparse kernels through both engines.
 	tdlRng := rand.New(rand.NewSource(2))
@@ -251,6 +276,16 @@ func main() {
 				fatal(err)
 			}
 		}},
+		{"abstract_cycle100k_serial", func() {
+			if _, err := abstractSerial.RunCycle(); err != nil {
+				fatal(err)
+			}
+		}},
+		{"abstract_cycle100k_parallel", func() {
+			if _, err := abstractParallel.RunCycle(); err != nil {
+				fatal(err)
+			}
+		}},
 		{"tdl_time_4taps_16k", func() { tdls["time_4taps"].Apply(tdlDst, tdlX) }},
 		{"tdl_freq_4taps_16k", func() { tdls["freq_4taps"].Apply(tdlDst, tdlX) }},
 		{"tdl_time_16taps_16k", func() { tdls["time_16taps"].Apply(tdlDst, tdlX) }},
@@ -260,11 +295,15 @@ func main() {
 	}
 
 	rep := report{
-		Date: time.Now().Format("2006-01-02"),
-		Go:   runtime.Version(),
-		CPUs: runtime.NumCPU(),
+		Date:       time.Now().Format("2006-01-02"),
+		Go:         runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	for _, w := range workloads {
+		if *filter != "" && !strings.Contains(w.name, *filter) {
+			continue
+		}
 		r := measure(w.name, *budget, w.f)
 		fmt.Fprintf(os.Stderr, "vabbench: %-28s %12.0f ns/op %8.1f allocs/op (%d iters)\n",
 			r.Name, r.NsPerOp, r.AllocsPerOp, r.Iters)

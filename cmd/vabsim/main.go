@@ -10,6 +10,9 @@
 //	vabsim -exp E6 -csv        # machine-readable output
 //	vabsim -faults list        # fault-scenario inventory
 //	vabsim -exp e11 -faults shrimp+shadowing  # chaos campaign
+//	vabsim -exp list           # inventory with one-line descriptions
+//	vabsim -exp e12            # abstract-tier 100k-node fleet campaign
+//	vabsim -calibrate internal/linksim/testdata/calibration_v1.json
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"vab/internal/dsp"
 	"vab/internal/experiments"
 	"vab/internal/faults"
+	"vab/internal/linksim"
 	"vab/internal/sim"
 	"vab/internal/telemetry"
 )
@@ -39,7 +43,42 @@ func main() {
 	faultSpec := flag.String("faults", "", "fault scenario for fault-injecting experiments (e.g. chaos, shrimp+shadowing:0.5); 'list' prints the inventory")
 	metricsAddr := flag.String("metrics", "", "ops endpoint address for /metrics, /healthz and pprof during the run (empty = telemetry off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (seeded output is unaffected)")
+	calibrate := flag.String("calibrate", "", "measure a linksim calibration table against the waveform tier and write it to this path")
 	flag.Parse()
+
+	if *calibrate != "" {
+		cfg := linksim.DefaultCalibrateConfig()
+		cfg.Seed = *seed
+		if *seed == 1 {
+			cfg.Seed = 7 // the committed artifact's provenance seed
+		}
+		if *trials > 0 {
+			cfg.RoundsPerCell = *trials
+		}
+		cfg.Workers = *workers
+		fmt.Fprintf(os.Stderr, "vabsim: calibrating %d cells × %d rounds (seed %d)...\n",
+			len(cfg.Envs)*len(cfg.Intensities)*len(cfg.OrientsRad)*len(cfg.RangesM), cfg.RoundsPerCell, cfg.Seed)
+		t, err := linksim.Calibrate(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := t.Write(*calibrate); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "vabsim: wrote %s (format v%d, chip rate %.0f cps, logistic k=%.2f snr50=%.2f dB)\n",
+			*calibrate, t.FormatVersion, t.ChipRate, t.LogisticK, t.LogisticSNR50)
+		return
+	}
+
+	if strings.EqualFold(*exp, "list") {
+		// Mirrors `-faults list`: the inventory with one-line descriptions,
+		// without running anything.
+		for _, line := range experiments.Describe() {
+			fmt.Println(line)
+		}
+		fmt.Println("\nopt-in experiments (E11, E12) run only when named: vabsim -exp e12")
+		return
+	}
 
 	if strings.EqualFold(*faultSpec, "list") {
 		for _, line := range faults.Presets() {

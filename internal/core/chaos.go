@@ -39,6 +39,13 @@ func (s *System) SetFaultEngine(e *faults.Engine) {
 	e.Instrument(s.reg)
 }
 
+// SetFaultRound positions the system on its fault engine's scenario
+// clock: the next RunRound evaluates Plan(r). Used when a system is built
+// mid-campaign — a hero-link cross-check spinning up a waveform system at
+// cycle c aligns it to the fleet's scenario with SetFaultRound(c) — so the
+// same faults hit the same rounds as in a from-scratch run.
+func (s *System) SetFaultRound(r int) { s.chaosRound = r }
+
 // healFaults reverts the persistent fault state (element failures, clock
 // steps, shadowing) to nominal.
 func (s *System) healFaults() {

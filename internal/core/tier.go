@@ -1,0 +1,98 @@
+package core
+
+// Fidelity-tier polymorphism. A deployment's polling loop — cycles of
+// reader-initiated polls under the MAC liveness policy — can run at two
+// fidelities: the waveform tier (Fleet: sample-accurate DSP through every
+// block, the ground truth) and the link-abstraction tier
+// (internal/linksim: statistical per-link draws calibrated against the
+// waveform tier, feasible at 10⁵–10⁶ nodes). Tier is the seam between
+// them: campaign drivers, benchmarks and experiments that only consume
+// cycle-level outcomes program against Tier and run unchanged on either.
+
+// TierStats summarizes one polling cycle at any fidelity tier. The fields
+// are the tier-independent subset of a cycle's outcome: counts from the
+// MAC decision phase plus the delivered-SNR aggregate.
+type TierStats struct {
+	Polled    int // polls the cycle owed (regular schedule + due probes)
+	Delivered int // polls that delivered a frame within the retry budget
+	Retries   int // retransmission attempts beyond first polls
+	Probes    int // quarantine re-probe attempts
+
+	Live        int // nodes in the regular schedule after the cycle
+	Quarantined int // nodes in probation after the cycle
+	Dropped     int // nodes permanently removed after the cycle
+
+	MeanSNRdB float64 // mean reported SNR across delivered polls (0 if none)
+}
+
+// Tier abstracts a fleet fidelity tier over its cycle loop.
+//
+// Implementations: *Fleet (waveform tier, this package) and
+// *linksim.Fleet (link-abstraction tier). Seeded RunTierCycle sequences
+// are deterministic for both — bit-identical at any SetWorkers width.
+type Tier interface {
+	// TierName identifies the fidelity tier ("waveform", "abstract").
+	TierName() string
+	// TierNodes returns the deployment size.
+	TierNodes() int
+	// RunTierCycle runs one polling cycle and summarizes it.
+	RunTierCycle() (TierStats, error)
+	// SetWorkers bounds the cycle's worker pool (n <= 0 → NumCPU); cycle
+	// outcomes are bit-identical at any width.
+	SetWorkers(n int)
+}
+
+// Fleet implements Tier at waveform fidelity.
+var _ Tier = (*Fleet)(nil)
+
+// TierName implements Tier.
+func (f *Fleet) TierName() string { return "waveform" }
+
+// TierNodes implements Tier.
+func (f *Fleet) TierNodes() int { return len(f.order) }
+
+// RunTierCycle implements Tier: one waveform cycle, summarized.
+func (f *Fleet) RunTierCycle() (TierStats, error) {
+	readings, rep, err := f.RunCycle()
+	if err != nil {
+		return TierStats{}, err
+	}
+	ts := TierStats{
+		Polled:    rep.Polled,
+		Delivered: rep.Delivered,
+		Retries:   rep.Retries,
+		Probes:    rep.Probes,
+	}
+	var snrSum float64
+	for _, rd := range readings {
+		snrSum += rd.SNRdB
+	}
+	if len(readings) > 0 {
+		ts.MeanSNRdB = snrSum / float64(len(readings))
+	}
+	for _, st := range f.sched.Nodes() {
+		switch {
+		case st.Dropped:
+			ts.Dropped++
+		case st.Quarantined:
+			ts.Quarantined++
+		default:
+			ts.Live++
+		}
+	}
+	return ts, nil
+}
+
+// RunTierCycles runs n cycles on a tier and returns the per-cycle stats —
+// the tier-polymorphic campaign loop E12 and the benchmarks drive.
+func RunTierCycles(t Tier, n int) ([]TierStats, error) {
+	out := make([]TierStats, 0, n)
+	for i := 0; i < n; i++ {
+		ts, err := t.RunTierCycle()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ts)
+	}
+	return out, nil
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"vab/internal/mac"
+	"vab/internal/ocean"
+)
+
+// TestFleetImplementsTier runs a small waveform fleet through the Tier
+// seam and checks the stats agree with the underlying CycleReport path.
+func TestFleetImplementsTier(t *testing.T) {
+	env := ocean.CharlesRiver()
+	design, err := NewVanAttaDesign(DefaultNodeElements, env, DefaultCarrierHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := NewFleet(
+		SystemConfig{Env: env, Design: design, Range: 1, Seed: 41},
+		[]NodePlacement{
+			{Addr: 1, Range: 30},
+			{Addr: 2, Range: 60, Orientation: 0.3},
+			{Addr: 3, Range: 90, Orientation: -0.5},
+		}, mac.DefaultPollPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.Deploy(3600)
+
+	var tier Tier = fleet
+	if tier.TierName() != "waveform" {
+		t.Fatalf("tier name %q", tier.TierName())
+	}
+	if tier.TierNodes() != 3 {
+		t.Fatalf("tier nodes %d, want 3", tier.TierNodes())
+	}
+	stats, err := RunTierCycles(tier, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("got %d cycle stats, want 2", len(stats))
+	}
+	for i, ts := range stats {
+		if ts.Polled != 3 {
+			t.Fatalf("cycle %d polled %d, want 3", i, ts.Polled)
+		}
+		if ts.Live+ts.Quarantined+ts.Dropped != 3 {
+			t.Fatalf("cycle %d liveness partition %d+%d+%d != 3", i, ts.Live, ts.Quarantined, ts.Dropped)
+		}
+		if ts.Delivered > 0 && ts.MeanSNRdB == 0 {
+			t.Fatalf("cycle %d delivered %d but mean SNR is zero", i, ts.Delivered)
+		}
+	}
+}

@@ -129,6 +129,46 @@ var registry = map[string]runner{
 // contract of the default set.
 var optIn = map[string]runner{
 	"E11": E11Chaos,
+	"E12": E12AbstractFleet,
+}
+
+// describe holds one-line descriptions for the whole inventory (default
+// and opt-in), so `vabsim -exp list` can print it without running anything.
+var describe = map[string]string{
+	"E1":  "range sweep in the river environment: BER and SNR vs distance",
+	"E2":  "SNR comparison: Van Atta vs specular vs prior-art budgets",
+	"E3":  "head-to-head range table at the paper's operating BER",
+	"E4":  "orientation sweep: retrodirective gain across node rotation",
+	"E5":  "element scaling: range vs Van Atta array size",
+	"E6":  "ocean validation: coastal Atlantic environment",
+	"E7":  "throughput vs range at fixed reliability",
+	"E8":  "power budget: harvested vs consumed per uplink frame",
+	"E9":  "matching-network sensitivity of the scattered field",
+	"E10": "full campaign: the multi-cell Monte-Carlo summary table",
+	"X1":  "extension: round-trip acoustic ranging accuracy",
+	"X2":  "extension: M-ary orthogonal signaling throughput",
+	"X3":  "extension: waveform pipeline vs analytic budget cross-validation",
+	"X4":  "extension: sensitivity of headline claims to environment knobs",
+	"X5":  "extension: environment-parameter sweeps (sound speed, spreading)",
+	"E11": "opt-in: chaos campaign — delivery vs fault intensity, recovery off/on",
+	"E12": "opt-in: abstract-tier 100k-node fleet on the calibrated link model",
+}
+
+// Describe returns "ID  description" inventory lines: the default set in
+// ID order, then the opt-in experiments.
+func Describe() []string {
+	ids := IDs()
+	opt := make([]string, 0, len(optIn))
+	for id := range optIn {
+		opt = append(opt, id)
+	}
+	sort.Strings(opt)
+	ids = append(ids, opt...)
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, fmt.Sprintf("%-4s %s", id, describe[id]))
+	}
+	return out
 }
 
 // IDs returns the registered experiment IDs in order: the paper's E-series
@@ -170,7 +210,7 @@ func Run(id string, opts Options) (*Result, error) {
 		r, ok = optIn[id]
 	}
 	if !ok {
-		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v plus opt-in E11)", id, IDs())
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v plus opt-in E11, E12)", id, IDs())
 	}
 	var sp telemetry.Span
 	if metReg != nil {

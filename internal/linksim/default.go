@@ -1,0 +1,34 @@
+package linksim
+
+import (
+	_ "embed"
+	"fmt"
+	"sync"
+)
+
+// The committed calibration artifact, embedded so every binary carries a
+// working abstract tier with zero setup. Regenerate with
+// `vabsim -calibrate internal/linksim/testdata/calibration_v1.json`
+// (the file records its own provenance: scenario, seed, rounds per cell).
+//
+//go:embed testdata/calibration_v1.json
+var defaultTableJSON []byte
+
+var (
+	defaultTableOnce sync.Once
+	defaultTable     *Table
+)
+
+// DefaultTable returns the embedded calibration table. The artifact is
+// validated once at first use; corruption is a build error in spirit, so
+// it panics rather than limping.
+func DefaultTable() *Table {
+	defaultTableOnce.Do(func() {
+		t, err := Decode(defaultTableJSON)
+		if err != nil {
+			panic(fmt.Sprintf("linksim: embedded calibration table invalid: %v", err))
+		}
+		defaultTable = t
+	})
+	return defaultTable
+}

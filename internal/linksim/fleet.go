@@ -1,0 +1,510 @@
+package linksim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"vab/internal/core"
+	"vab/internal/faults"
+	"vab/internal/mac"
+	"vab/internal/telemetry"
+)
+
+// Config describes an abstract-tier fleet: how many nodes, where they sit,
+// which calibration table models their links, and how many hero links per
+// cycle are promoted to waveform fidelity.
+type Config struct {
+	// Nodes is the fleet size. The abstract tier is indexed by int32, so
+	// deployments far beyond the MAC layer's 8-bit address space (the
+	// waveform fleet's ceiling) are in range.
+	Nodes int
+	// Policy is the MAC polling policy — the same retry/probation
+	// semantics the waveform scheduler applies, via the shared fold
+	// primitives.
+	Policy mac.PollPolicy
+	// Table is the calibration artifact (nil → the embedded default).
+	Table *Table
+	// Env names the environment column of the table ("river", "ocean").
+	Env string
+	// RangeMinM/RangeMaxM bound the uniform deployment annulus
+	// (0 → 25..300 m, the calibrated span).
+	RangeMinM, RangeMaxM float64
+	// MaxOrientRad bounds node rotation, drawn uniform in ±MaxOrientRad
+	// (0 → 60°, the calibrated span).
+	MaxOrientRad float64
+	// Placements, when non-empty, pins every node's geometry explicitly
+	// instead of drawing it from the seed; Nodes must be 0 or match its
+	// length. Surveyed deployments and parity tests use this.
+	Placements []Placement
+	// Seed drives every placement and poll draw. Same seed, same
+	// transcript, at any worker count.
+	Seed int64
+	// HeroLinks promotes this many scheduled polls per cycle to full
+	// waveform fidelity for online cross-checking (0 = off).
+	HeroLinks int
+	// HeroRounds is the waveform rounds each hero check runs (0 → 4).
+	HeroRounds int
+}
+
+// Placement pins one node's geometry.
+type Placement struct {
+	RangeM    float64
+	OrientRad float64
+}
+
+// workItem is one scheduled poll of a cycle.
+type workItem struct {
+	node  int32
+	probe bool
+}
+
+// CycleReport summarizes one abstract-tier polling cycle.
+type CycleReport struct {
+	Cycle     int
+	Polled    int // scheduled polls (regular + probes)
+	Delivered int
+	Retries   int
+	Probes    int
+	Restored  int
+
+	Live        int // on the regular schedule after this cycle
+	Quarantined int
+	Dropped     int
+
+	MeanSNRdB         float64 // over delivered polls (0 if none)
+	MeanDelayMs       float64
+	CorrectedPerFrame float64
+	Severity          float64 // fault severity driving this cycle's draws
+	ChipRate          float64 // commanded chip rate during this cycle
+
+	Hero HeroReport
+}
+
+// fleetMetrics instruments the abstract tier. Zero value = noop.
+type fleetMetrics struct {
+	polls     *telemetry.Counter
+	delivered *telemetry.Counter
+	timeouts  *telemetry.Counter
+	probes    *telemetry.Counter
+	quarant   *telemetry.Counter
+	restored  *telemetry.Counter
+	dropped   *telemetry.Counter
+	live      *telemetry.Gauge
+}
+
+// Fleet is the link-abstraction tier: up to ~10⁶ nodes polled per cycle
+// through the calibrated statistical model, with the MAC layer's exact
+// liveness semantics. The scheduler is event-driven — per-cycle work is
+// O(live nodes + due probes), not O(all nodes): quarantined nodes sit in a
+// probe calendar keyed by their next re-probe cycle and cost nothing until
+// it comes up.
+type Fleet struct {
+	cfg   Config
+	table *Table
+	env   int
+
+	states  []mac.NodeState // indexed by node
+	coords  []linkCoord     // per-node interpolation coordinates
+	ranges  []float64
+	orients []float64
+
+	live     []int32         // ascending node indices on the regular schedule
+	probeCal map[int][]int32 // cycle → nodes whose re-probe is due then
+	nQuar    int
+	nDrop    int
+
+	cycle    int
+	seedBase uint64
+	workers  int
+
+	rate  *mac.RateController
+	chaos *faults.Engine
+	hero  *heroChecker
+	met   fleetMetrics
+
+	work []workItem // scratch, reused across cycles
+	outs []outcome
+}
+
+// NewFleet builds an abstract fleet. Placements (range, orientation) are
+// drawn deterministically from the seed, uniform over the configured
+// annulus, and resolved against the table once.
+func NewFleet(cfg Config) (*Fleet, error) {
+	if n := len(cfg.Placements); n > 0 {
+		if cfg.Nodes != 0 && cfg.Nodes != n {
+			return nil, fmt.Errorf("linksim: Nodes=%d conflicts with %d placements", cfg.Nodes, n)
+		}
+		cfg.Nodes = n
+	}
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("linksim: fleet needs at least one node, got %d", cfg.Nodes)
+	}
+	if err := cfg.Policy.Validate(); err != nil {
+		return nil, err
+	}
+	t := cfg.Table
+	if t == nil {
+		t = DefaultTable()
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Env == "" {
+		cfg.Env = "river"
+	}
+	env, err := t.EnvIndex(cfg.Env)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.RangeMinM == 0 && cfg.RangeMaxM == 0 {
+		cfg.RangeMinM, cfg.RangeMaxM = 25, 300
+	}
+	if cfg.RangeMinM <= 0 || cfg.RangeMaxM < cfg.RangeMinM {
+		return nil, fmt.Errorf("linksim: bad range annulus [%g, %g]", cfg.RangeMinM, cfg.RangeMaxM)
+	}
+	if cfg.MaxOrientRad == 0 {
+		cfg.MaxOrientRad = 60 * math.Pi / 180
+	}
+	if cfg.HeroLinks < 0 || cfg.HeroRounds < 0 {
+		return nil, fmt.Errorf("linksim: negative hero configuration")
+	}
+	if cfg.HeroRounds == 0 {
+		cfg.HeroRounds = 4
+	}
+
+	f := &Fleet{
+		cfg:      cfg,
+		table:    t,
+		env:      env,
+		states:   make([]mac.NodeState, cfg.Nodes),
+		coords:   make([]linkCoord, cfg.Nodes),
+		ranges:   make([]float64, cfg.Nodes),
+		orients:  make([]float64, cfg.Nodes),
+		live:     make([]int32, cfg.Nodes),
+		probeCal: make(map[int][]int32),
+		seedBase: uint64(cfg.Seed),
+		workers:  1,
+	}
+	const placeDomain = 0x506c6163 // placement draws, distinct from poll streams
+	for i := 0; i < cfg.Nodes; i++ {
+		if len(cfg.Placements) > 0 {
+			f.ranges[i] = cfg.Placements[i].RangeM
+			f.orients[i] = cfg.Placements[i].OrientRad
+		} else {
+			st := newStream(mix(f.seedBase, placeDomain, uint64(i)))
+			f.ranges[i] = cfg.RangeMinM + st.f64()*(cfg.RangeMaxM-cfg.RangeMinM)
+			f.orients[i] = (2*st.f64() - 1) * cfg.MaxOrientRad
+		}
+		f.coords[i] = t.Resolve(f.ranges[i], f.orients[i])
+		f.states[i] = mac.NodeState{Addr: byte(i % 251), Health: 1}
+		f.live[i] = int32(i)
+	}
+	if cfg.HeroLinks > 0 {
+		f.hero, err = newHeroChecker(f)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// NodeRange returns node i's deployed range in metres.
+func (f *Fleet) NodeRange(i int) float64 { return f.ranges[i] }
+
+// NodeOrientation returns node i's rotation in radians.
+func (f *Fleet) NodeOrientation(i int) float64 { return f.orients[i] }
+
+// NodeState returns a copy of node i's MAC bookkeeping.
+func (f *Fleet) NodeState(i int) mac.NodeState { return f.states[i] }
+
+// SetWorkers bounds the execution-phase worker pool (n <= 0 selects
+// runtime.NumCPU()). Cycle outcomes are bit-identical at any width: every
+// draw is a pure function of (seed, node, cycle, attempt) and all state
+// mutation happens serially afterwards in node order.
+func (f *Fleet) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	f.workers = n
+}
+
+// EnableRateAdaptation attaches a fleet-wide rate controller: delivered
+// polls feed its SNR belief, exhausted polls its loss signal, and its
+// commanded chip rate shifts the next cycle's delivery odds along the
+// table's logistic transfer (the abstract analogue of rebuilding the PHY
+// chain at a new rate).
+func (f *Fleet) EnableRateAdaptation(rc *mac.RateController) { f.rate = rc }
+
+// SetFaultEngine attaches a fault engine. Each cycle's plan is projected
+// onto the table's calibrated intensity axis via faults.ModelSeverity; the
+// hero checker attaches the same engine to its waveform systems so both
+// tiers see one scenario clock.
+func (f *Fleet) SetFaultEngine(e *faults.Engine) { f.chaos = e }
+
+// Instrument registers the tier's metrics (nil registry = noop).
+func (f *Fleet) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	f.met = fleetMetrics{
+		polls:     reg.Counter("vab_linksim_polls_total", "Abstract-tier poll attempts."),
+		delivered: reg.Counter("vab_linksim_delivered_total", "Abstract-tier delivered polls."),
+		timeouts:  reg.Counter("vab_linksim_timeouts_total", "Abstract-tier exhausted polls."),
+		probes:    reg.Counter("vab_linksim_probes_total", "Abstract-tier quarantine re-probes."),
+		quarant:   reg.Counter("vab_linksim_quarantined_total", "Nodes entering probation."),
+		restored:  reg.Counter("vab_linksim_restored_total", "Nodes restored from probation."),
+		dropped:   reg.Counter("vab_linksim_dropped_total", "Nodes permanently dropped."),
+		live:      reg.Gauge("vab_linksim_live_nodes", "Nodes on the regular schedule."),
+	}
+	f.met.live.Set(float64(len(f.live)))
+	if f.hero != nil {
+		f.hero.instrument(reg)
+	}
+	if f.rate != nil {
+		f.rate.Instrument(reg)
+	}
+}
+
+// RunCycle polls every live node once (with the policy's retry budget),
+// re-probes the quarantined nodes whose backoff elapsed, and folds the
+// outcomes through the shared MAC primitives.
+//
+// Three phases, mirroring mac.Scheduler.RunCycle's structure at fleet
+// scale:
+//
+//  1. Decision (serial): compact the live list, pull this cycle's probe
+//     bucket from the calendar, merge both into one ascending work list.
+//  2. Execution (parallel): every scheduled poll's outcome is drawn
+//     independently — a pure function of (seed, node, cycle, attempt) —
+//     sharded block-wise over the worker pool with no shared state.
+//  3. Fold (serial, ascending node order): outcomes apply to node state
+//     through mac.FoldDelivered / FoldPollFailure / FoldProbeFailure, the
+//     rate controller is fed exactly as the waveform scheduler feeds it,
+//     and liveness transitions update the live list and probe calendar.
+func (f *Fleet) RunCycle() (CycleReport, error) {
+	cycle := f.cycle
+	f.cycle++
+	rep := CycleReport{Cycle: cycle}
+
+	// Snapshot everything the draws depend on, once, before fan-out —
+	// the same snapshot discipline mac.Scheduler.runWave applies to the
+	// rate command.
+	model := cycleModel{table: f.table, env: f.env}
+	if f.chaos != nil {
+		rep.Severity = faults.ModelSeverity(f.chaos.Plan(cycle))
+		model.severity = rep.Severity
+	}
+	rep.ChipRate = f.table.ChipRate
+	if f.rate != nil {
+		rep.ChipRate = f.rate.Rate()
+		model.snrDelta = 10 * math.Log10(f.table.ChipRate/rep.ChipRate)
+	}
+	model.chipRate = rep.ChipRate
+
+	// Decision phase.
+	f.work = f.work[:0]
+	probes := f.probeCal[cycle]
+	delete(f.probeCal, cycle)
+	sort.Slice(probes, func(i, j int) bool { return probes[i] < probes[j] })
+	pi := 0
+	for _, n := range f.live {
+		for pi < len(probes) && probes[pi] < n {
+			f.appendProbe(probes[pi], cycle)
+			pi++
+		}
+		f.work = append(f.work, workItem{node: n})
+	}
+	for ; pi < len(probes); pi++ {
+		f.appendProbe(probes[pi], cycle)
+	}
+	rep.Polled = len(f.work)
+
+	// Execution phase.
+	if cap(f.outs) < len(f.work) {
+		f.outs = make([]outcome, len(f.work))
+	}
+	f.outs = f.outs[:len(f.work)]
+	maxAttempts := 1 + f.cfg.Policy.MaxRetries
+	exec := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			w := f.work[i]
+			n := maxAttempts
+			if w.probe {
+				n = 1 // probes are single-attempt, as in the waveform MAC
+			}
+			f.outs[i] = model.poll(f.seedBase, w.node, f.coords[w.node], cycle, w.probe, n)
+		}
+	}
+	if workers := f.workers; workers <= 1 || len(f.work) < 2*workers {
+		exec(0, len(f.work))
+	} else {
+		block := (len(f.work) + workers - 1) / workers
+		var wg sync.WaitGroup
+		for lo := 0; lo < len(f.work); lo += block {
+			hi := lo + block
+			if hi > len(f.work) {
+				hi = len(f.work)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				exec(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+
+	// Fold phase.
+	var snrSum, delaySum float64
+	var corrSum int64
+	var restored []int32
+	leavers := false
+	for i := range f.work {
+		w := f.work[i]
+		out := &f.outs[i]
+		st := &f.states[w.node]
+		attempts := int(out.attempts)
+		st.Polls += attempts
+		f.met.polls.Add(int64(attempts))
+		if w.probe {
+			rep.Probes++
+			f.met.probes.Inc()
+		} else if attempts > 1 {
+			st.Retries += attempts - 1
+			rep.Retries += attempts - 1
+		}
+		switch {
+		case out.delivered:
+			mac.FoldDelivered(st, out.snrDB)
+			rep.Delivered++
+			f.met.delivered.Inc()
+			snrSum += out.snrDB
+			delaySum += out.delayMs
+			corrSum += int64(out.corrected)
+			if w.probe {
+				st.Restore(cycle)
+				restored = append(restored, w.node)
+				f.nQuar--
+				rep.Restored++
+				f.met.restored.Inc()
+			} else if f.rate != nil {
+				f.rate.Observe(out.snrDB)
+			}
+		case w.probe:
+			f.met.timeouts.Inc()
+			f.cfg.Policy.FoldProbeFailure(st, cycle)
+			f.probeCal[st.NextProbe()] = append(f.probeCal[st.NextProbe()], w.node)
+		default:
+			f.met.timeouts.Inc()
+			if f.rate != nil {
+				f.rate.ObserveLoss()
+			}
+			switch f.cfg.Policy.FoldPollFailure(st, cycle) {
+			case mac.LivenessQuarantined:
+				f.nQuar++
+				leavers = true
+				f.met.quarant.Inc()
+				f.probeCal[st.NextProbe()] = append(f.probeCal[st.NextProbe()], w.node)
+			case mac.LivenessDropped:
+				f.nDrop++
+				leavers = true
+				f.met.dropped.Inc()
+			}
+		}
+	}
+
+	// Liveness list maintenance: drop leavers, merge the restored back in
+	// (both lists are ascending, so one merge pass keeps the order).
+	if leavers {
+		kept := f.live[:0]
+		for _, n := range f.live {
+			st := &f.states[n]
+			if !st.Quarantined && !st.Dropped {
+				kept = append(kept, n)
+			}
+		}
+		f.live = kept
+	}
+	if len(restored) > 0 {
+		f.live = mergeSorted(f.live, restored)
+	}
+	f.met.live.Set(float64(len(f.live)))
+
+	if rep.Delivered > 0 {
+		rep.MeanSNRdB = snrSum / float64(rep.Delivered)
+		rep.MeanDelayMs = delaySum / float64(rep.Delivered)
+		rep.CorrectedPerFrame = float64(corrSum) / float64(rep.Delivered)
+	}
+	rep.Live = len(f.live)
+	rep.Quarantined = f.nQuar
+	rep.Dropped = f.nDrop
+
+	// Hero phase: cross-check a deterministic subset at waveform fidelity.
+	if f.hero != nil {
+		hr, err := f.hero.check(f, &model, cycle, f.work)
+		if err != nil {
+			return rep, err
+		}
+		rep.Hero = hr
+	}
+	return rep, nil
+}
+
+// appendProbe schedules a calendared node into the work list if its probe
+// is genuinely due (stale calendar entries — restored or re-quarantined
+// nodes — are skipped; their live entry or newer calendar slot owns them).
+func (f *Fleet) appendProbe(n int32, cycle int) {
+	if f.states[n].ProbeDue(cycle) {
+		f.work = append(f.work, workItem{node: n, probe: true})
+	}
+}
+
+// mergeSorted merges two ascending int32 slices in place over dst's
+// storage when capacity allows.
+func mergeSorted(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Tier implementation — the abstract counterpart of core.Fleet's.
+
+var _ core.Tier = (*Fleet)(nil)
+
+// TierName identifies the fidelity tier.
+func (f *Fleet) TierName() string { return "abstract" }
+
+// TierNodes returns the fleet size.
+func (f *Fleet) TierNodes() int { return f.cfg.Nodes }
+
+// RunTierCycle runs one cycle through the tier-polymorphic seam.
+func (f *Fleet) RunTierCycle() (core.TierStats, error) {
+	rep, err := f.RunCycle()
+	if err != nil {
+		return core.TierStats{}, err
+	}
+	return core.TierStats{
+		Polled:      rep.Polled,
+		Delivered:   rep.Delivered,
+		Retries:     rep.Retries,
+		Probes:      rep.Probes,
+		Live:        rep.Live,
+		Quarantined: rep.Quarantined,
+		Dropped:     rep.Dropped,
+		MeanSNRdB:   rep.MeanSNRdB,
+	}, nil
+}

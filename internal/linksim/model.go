@@ -1,0 +1,127 @@
+package linksim
+
+import "math"
+
+// Deterministic draw machinery. Every poll outcome is a pure function of
+// (fleet seed, node index, cycle, attempt): a splitmix64-seeded stream per
+// attempt, the same construction internal/faults uses for its plans. No
+// shared RNG state exists, so outcomes are independent of evaluation
+// order, worker count and history — the property behind the tier's
+// bit-identical-at-any-width contract.
+
+// splitmix64 is the avalanche mixer (identical to internal/faults').
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// mix chains values through the mixer into one seed.
+func mix(vals ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vals {
+		h = splitmix64(h ^ v)
+	}
+	return h
+}
+
+// drawStream is a tiny splitmix64-sequence PRNG: allocation-free and cheap
+// enough to instantiate per poll attempt.
+type drawStream struct{ s uint64 }
+
+func newStream(seed uint64) drawStream { return drawStream{s: seed} }
+
+func (d *drawStream) next() uint64 {
+	d.s += 0x9e3779b97f4a7c15
+	z := d.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// f64 returns a uniform draw in [0, 1) with 53-bit resolution.
+func (d *drawStream) f64() float64 {
+	return float64(d.next()>>11) / (1 << 53)
+}
+
+// norm returns a standard normal draw (Box–Muller; two uniforms per draw,
+// no cached spare, so the stream's draw count per call is fixed).
+func (d *drawStream) norm() float64 {
+	u1 := d.f64()
+	for u1 == 0 {
+		u1 = d.f64()
+	}
+	u2 := d.f64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// poisson draws k ~ Poisson(lambda) by Knuth's product method — the same
+// small-rate regime the faults engine uses it in.
+func (d *drawStream) poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= d.f64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// outcome is one poll's drawn result (the abstract tier's RoundResult).
+type outcome struct {
+	delivered bool
+	attempts  uint8 // attempts consumed (1 = first poll delivered)
+	snrDB     float64
+	corrected uint16
+	delayMs   float64
+}
+
+// cycleModel snapshots everything a cycle's draws depend on: the per-cycle
+// fault severity, the rate-controller command translated into an SNR
+// delta, and the resolved calibration slice. Built once per cycle on the
+// caller's goroutine, then read-only across the execution shards.
+type cycleModel struct {
+	table    *Table
+	env      int
+	severity float64 // fault severity on the table's intensity axis
+	snrDelta float64 // dB shift from the commanded chip rate vs calibration
+	chipRate float64 // the commanded rate itself (hero systems retune to it)
+}
+
+// poll draws one node's poll for a cycle: up to maxAttempts independent
+// attempts (the MAC retry budget), each its own seeded stream. probe
+// attempts use a distinct stream domain so a probe never replays the
+// draw of a regular poll of the same (node, cycle).
+func (m *cycleModel) poll(seedBase uint64, node int32, coord linkCoord, cycle int, probe bool, maxAttempts int) outcome {
+	cell := m.table.Lookup(m.env, coord, m.severity)
+	p := m.table.ShiftDelivery(cell.PDeliver, m.snrDelta)
+	domain := uint64(0)
+	if probe {
+		domain = 1 << 40
+	}
+	out := outcome{}
+	for a := 0; a < maxAttempts; a++ {
+		st := newStream(mix(seedBase, domain|uint64(uint32(node)), uint64(cycle), uint64(a)))
+		out.attempts = uint8(a + 1)
+		if st.f64() >= p {
+			continue // this attempt timed out
+		}
+		out.delivered = true
+		out.snrDB = cell.SNRMeanDB + cell.SNRStdDB*st.norm() + m.snrDelta
+		out.corrected = uint16(st.poisson(cell.CorrMean))
+		// Delay: propagation plus a small sway-scale jitter (±0.1 ms RMS).
+		d := cell.DelayMs + 0.1*st.norm()
+		if d < 0 {
+			d = 0
+		}
+		out.delayMs = d
+		return out
+	}
+	return out
+}

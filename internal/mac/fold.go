@@ -1,0 +1,93 @@
+package mac
+
+// Decision-phase primitives, exported.
+//
+// The Scheduler's RunCycle folds poll outcomes into per-node bookkeeping —
+// health EWMA, silent-cycle counting, probation entry/exit with backed-off
+// re-probes, permanent drops. Those transitions are the MAC layer's
+// *semantics*; the waveform transceiver underneath is incidental. The
+// link-abstraction tier (internal/linksim) runs the same polling protocol
+// over a statistical channel model at 10⁵–10⁶ nodes, and must make exactly
+// the decisions a waveform fleet would make for the same outcome sequence.
+// Rather than fork the policy, the transitions live here as pure functions
+// over (*NodeState, PollPolicy, cycle) that both schedulers call. The
+// Scheduler's finish* methods delegate to them verbatim, so the refactor is
+// bit-identical for every existing seeded transcript.
+
+// LivenessChange reports the transition FoldPollFailure applied to a node.
+type LivenessChange int
+
+// Liveness transitions, in increasing severity.
+const (
+	// LivenessNone: the node stays in the regular schedule.
+	LivenessNone LivenessChange = iota
+	// LivenessQuarantined: the node entered probation (Probation policy).
+	LivenessQuarantined
+	// LivenessDropped: the node was permanently removed (DropAfter policy).
+	LivenessDropped
+)
+
+// FoldDelivered folds a delivered poll (or a restoring probe's successful
+// round) into the node's bookkeeping: success and SNR accounting plus the
+// health EWMA. Quarantine exit for probes is a separate step — see
+// (*NodeState).Restore.
+func FoldDelivered(st *NodeState, snrDB float64) {
+	st.Successes++
+	st.LastSNRdB = snrDB
+	st.SilentCycles = 0
+	observeHealth(st, true)
+}
+
+// Restore exits quarantine after a successful re-probe and returns the
+// recovery latency in cycles (1 = restored by the first probe after entry),
+// the value the recovery-latency histogram records.
+func (st *NodeState) Restore(cycle int) int {
+	st.Quarantined = false
+	return cycle - st.quarantinedAt + 1
+}
+
+// FoldProbeFailure folds a failed quarantine re-probe: the health EWMA
+// decays and the re-probe backoff doubles up to the policy cap. Probes
+// deliberately skip the retry budget — a node that is still down should
+// cost the cycle as little airtime as possible.
+func (p PollPolicy) FoldProbeFailure(st *NodeState, cycle int) {
+	observeHealth(st, false)
+	st.probeInterval *= 2
+	if max := p.probeMax(); st.probeInterval > max {
+		st.probeInterval = max
+	}
+	st.nextProbe = cycle + st.probeInterval
+}
+
+// FoldPollFailure folds a poll whose retry budget is exhausted: the silent
+// cycle is counted and the liveness policy applied — quarantine (Probation)
+// or permanent drop once DropAfter consecutive silent cycles accumulate.
+// The caller owns any rate-controller loss feeding and metrics.
+func (p PollPolicy) FoldPollFailure(st *NodeState, cycle int) LivenessChange {
+	observeHealth(st, false)
+	st.SilentCycles++
+	if p.DropAfter > 0 && st.SilentCycles >= p.DropAfter {
+		if p.Probation {
+			st.Quarantined = true
+			st.QuarantineEntries++
+			st.quarantinedAt = cycle
+			st.probeInterval = p.probeBase()
+			st.nextProbe = cycle + st.probeInterval
+			return LivenessQuarantined
+		}
+		st.Dropped = true
+		return LivenessDropped
+	}
+	return LivenessNone
+}
+
+// ProbeDue reports whether a quarantined node's re-probe backoff has
+// elapsed at the given cycle.
+func (st *NodeState) ProbeDue(cycle int) bool {
+	return st.Quarantined && cycle >= st.nextProbe
+}
+
+// NextProbe returns the cycle index of the node's next scheduled re-probe
+// (meaningful only while quarantined) — the hook an event-driven scheduler
+// uses to calendar probes instead of scanning every quarantined node.
+func (st *NodeState) NextProbe() int { return st.nextProbe }

@@ -1,0 +1,118 @@
+package mac
+
+import (
+	"testing"
+)
+
+// scriptTrx replays a fixed per-address outcome schedule: outcomes[addr][i]
+// is the result of the i-th poll of addr (false = timeout). Exhausted
+// scripts keep returning the last entry.
+type scriptTrx struct {
+	outcomes map[byte][]bool
+	calls    map[byte]int
+}
+
+func (t *scriptTrx) Poll(addr byte) (RoundResult, error) {
+	sc := t.outcomes[addr]
+	i := t.calls[addr]
+	t.calls[addr]++
+	ok := false
+	if len(sc) > 0 {
+		if i >= len(sc) {
+			i = len(sc) - 1
+		}
+		ok = sc[i]
+	}
+	if !ok {
+		return RoundResult{}, nil
+	}
+	return RoundResult{OK: true, Payload: []byte{addr}, SNRdB: 12}, nil
+}
+
+// TestFoldPrimitivesMatchScheduler drives a Scheduler through a
+// quarantine/restore trajectory and replays the same outcome sequence
+// through the exported fold primitives directly; the two node-state
+// evolutions must agree field for field. This is the contract the
+// link-abstraction tier relies on: calling the primitives IS running the
+// MAC decision phase.
+func TestFoldPrimitivesMatchScheduler(t *testing.T) {
+	policy := PollPolicy{
+		MaxRetries: 0, BackoffSlots: 8, DropAfter: 2,
+		Probation: true, ProbeBackoffBase: 2, ProbeBackoffMax: 8,
+	}
+	// Node 7: delivers twice, goes silent for 4 polls (2 cycles → quarantine,
+	// then probes fail twice), then answers its next probe and stays up.
+	script := []bool{true, true, false, false, false, false, true, true, true, true}
+	trx := &scriptTrx{outcomes: map[byte][]bool{7: script}, calls: map[byte]int{}}
+	sched, err := NewScheduler(trx, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.AddNode(7)
+
+	// Shadow state evolved through the fold primitives only.
+	shadow := NodeState{Addr: 7, Health: 1}
+	si := 0 // script cursor for the shadow run
+
+	const cycles = 20
+	for c := 0; c < cycles; c++ {
+		if _, err := sched.RunCycle(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Shadow decision phase: same schedule the Scheduler computes.
+		switch {
+		case shadow.Dropped:
+		case shadow.Quarantined:
+			if shadow.ProbeDue(c) {
+				shadow.Polls++
+				ok := script[min(si, len(script)-1)]
+				si++
+				if ok {
+					FoldDelivered(&shadow, 12)
+					shadow.Restore(c)
+				} else {
+					policy.FoldProbeFailure(&shadow, c)
+				}
+			}
+		default:
+			shadow.Polls++
+			ok := script[min(si, len(script)-1)]
+			si++
+			if ok {
+				FoldDelivered(&shadow, 12)
+			} else {
+				policy.FoldPollFailure(&shadow, c)
+			}
+		}
+
+		got := sched.Nodes()[0]
+		if got != shadow {
+			t.Fatalf("cycle %d: scheduler state %+v != fold-primitive state %+v", c, got, shadow)
+		}
+	}
+	if shadow.QuarantineEntries != 1 || shadow.Quarantined {
+		t.Fatalf("trajectory did not exercise quarantine+restore: %+v", shadow)
+	}
+}
+
+// TestFoldPollFailureTransitions pins the liveness transitions.
+func TestFoldPollFailureTransitions(t *testing.T) {
+	p := PollPolicy{MaxRetries: 0, BackoffSlots: 8, DropAfter: 2, Probation: true}
+	st := NodeState{Addr: 1, Health: 1}
+	if ch := p.FoldPollFailure(&st, 0); ch != LivenessNone {
+		t.Fatalf("first silent cycle: got %v, want LivenessNone", ch)
+	}
+	if ch := p.FoldPollFailure(&st, 1); ch != LivenessQuarantined {
+		t.Fatalf("second silent cycle: got %v, want LivenessQuarantined", ch)
+	}
+	if !st.ProbeDue(1 + st.nextProbe - st.quarantinedAt) {
+		t.Fatal("probe not due at nextProbe")
+	}
+
+	drop := PollPolicy{MaxRetries: 0, BackoffSlots: 8, DropAfter: 1}
+	st2 := NodeState{Addr: 2, Health: 1}
+	if ch := drop.FoldPollFailure(&st2, 0); ch != LivenessDropped || !st2.Dropped {
+		t.Fatalf("drop policy: got %v dropped=%v", ch, st2.Dropped)
+	}
+}

@@ -506,20 +506,19 @@ func (s *Scheduler) observeWave(wave []waveSlot, workers int, wall time.Duration
 }
 
 // finishDelivered folds a delivered poll (or restoring probe) into the
-// node and cycle state.
+// node and cycle state. The node-state transition itself lives in the
+// exported decision-phase primitives (fold.go), shared with the
+// link-abstraction tier; this method adds the scheduler's report assembly,
+// metrics and rate-controller feeding.
 func (s *Scheduler) finishDelivered(slot *waveSlot, cycle int, rep *CycleReport) {
 	st := slot.st
-	st.Successes++
-	st.LastSNRdB = slot.res.SNRdB
-	st.SilentCycles = 0
+	FoldDelivered(st, slot.res.SNRdB)
 	rep.Payloads[st.Addr] = slot.res.Payload
 	rep.Delivered++
 	s.met.delivered.Inc()
-	observeHealth(st, true)
 	if slot.probe {
-		st.Quarantined = false
 		s.met.restored.Inc()
-		s.met.recoveryLat.Observe(float64(cycle - st.quarantinedAt + 1))
+		s.met.recoveryLat.Observe(float64(st.Restore(cycle)))
 		s.met.liveNodes.Set(float64(s.liveCount()))
 		return // probes are off-schedule and never feed the rate controller
 	}
@@ -528,39 +527,25 @@ func (s *Scheduler) finishDelivered(slot *waveSlot, cycle int, rep *CycleReport)
 	}
 }
 
-// finishFailedProbe doubles a quarantined node's re-probe backoff up to
-// the policy cap. Probes deliberately skip the retry budget — a node that
-// is still down should cost the cycle as little airtime as possible.
+// finishFailedProbe folds a failed quarantine re-probe (fold.go owns the
+// backoff doubling).
 func (s *Scheduler) finishFailedProbe(st *NodeState, cycle int) {
-	observeHealth(st, false)
-	st.probeInterval *= 2
-	if max := s.policy.probeMax(); st.probeInterval > max {
-		st.probeInterval = max
-	}
-	st.nextProbe = cycle + st.probeInterval
+	s.policy.FoldProbeFailure(st, cycle)
 }
 
 // finishFailedPoll applies the liveness policy to a node whose retry
-// budget is exhausted: count the silent cycle and quarantine or drop it
-// once the threshold is reached.
+// budget is exhausted, recording the transition's metrics and feeding the
+// rate controller's loss signal.
 func (s *Scheduler) finishFailedPoll(st *NodeState, cycle int) {
-	observeHealth(st, false)
 	if s.rate != nil {
 		s.rate.ObserveLoss()
 	}
-	st.SilentCycles++
-	if s.policy.DropAfter > 0 && st.SilentCycles >= s.policy.DropAfter {
-		if s.policy.Probation {
-			st.Quarantined = true
-			st.QuarantineEntries++
-			st.quarantinedAt = cycle
-			st.probeInterval = s.policy.probeBase()
-			st.nextProbe = cycle + st.probeInterval
-			s.met.quarantined.Inc()
-		} else {
-			st.Dropped = true
-			s.met.dropped.Inc()
-		}
+	switch s.policy.FoldPollFailure(st, cycle) {
+	case LivenessQuarantined:
+		s.met.quarantined.Inc()
+		s.met.liveNodes.Set(float64(s.liveCount()))
+	case LivenessDropped:
+		s.met.dropped.Inc()
 		s.met.liveNodes.Set(float64(s.liveCount()))
 	}
 }
