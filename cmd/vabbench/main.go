@@ -43,6 +43,10 @@ type result struct {
 	Iters       int     `json:"iters"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// NsPerItem normalizes ns/op by the workload's item count (per-node
+	// cost for fleet-cycle workloads); 0 for unit workloads.
+	NsPerItem float64 `json:"ns_per_item,omitempty"`
 }
 
 // report is the emitted JSON document. GOMAXPROCS is recorded alongside
@@ -90,6 +94,7 @@ func measure(name string, budget float64, f func()) result {
 		Iters:       iters,
 		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
 		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
 	}
 }
 
@@ -174,24 +179,34 @@ func main() {
 	fleetSerial := mkFleet(1)
 	fleetParallel := mkFleet(0)
 
-	// Abstract-tier workloads: one 100k-node polling cycle on the
-	// calibrated link model (no heroes — pure model cost). Divide by nodes
-	// and compare against fleet_cycle64/64 for the per-node speedup of the
-	// abstraction over the waveform tier.
-	mkAbstract := func(workers int) *linksim.Fleet {
-		f, err := linksim.NewFleet(linksim.Config{
-			Nodes:  100_000,
-			Policy: mac.DefaultPollPolicy(),
-			Seed:   99,
-		})
-		if err != nil {
-			fatal(err)
+	// Abstract-tier workloads: one full polling cycle on the calibrated
+	// link model (no heroes — pure model cost), at 100k and a million
+	// nodes, serial vs pooled. The ns/item column is the per-node cost —
+	// compare against fleet_cycle64/64 for the abstraction's speedup over
+	// the waveform tier. Fleets are built lazily on first use so filtered
+	// runs don't pay the million-node construction or its footprint.
+	mkAbstract := func(nodes, workers int) func() *linksim.Fleet {
+		var f *linksim.Fleet
+		return func() *linksim.Fleet {
+			if f == nil {
+				var err error
+				f, err = linksim.NewFleet(linksim.Config{
+					Nodes:  nodes,
+					Policy: mac.DefaultPollPolicy(),
+					Seed:   99,
+				})
+				if err != nil {
+					fatal(err)
+				}
+				f.SetWorkers(workers)
+			}
+			return f
 		}
-		f.SetWorkers(workers)
-		return f
 	}
-	abstractSerial := mkAbstract(1)
-	abstractParallel := mkAbstract(0)
+	abstractSerial := mkAbstract(100_000, 1)
+	abstractParallel := mkAbstract(100_000, 0)
+	abstract1mSerial := mkAbstract(1_000_000, 1)
+	abstract1mParallel := mkAbstract(1_000_000, 0)
 
 	// TDL engine crossover: identical sparse kernels through both engines.
 	tdlRng := rand.New(rand.NewSource(2))
@@ -212,6 +227,17 @@ func main() {
 		taps := mkTaps(n)
 		tdls[fmt.Sprintf("time_%dtaps", n)] = channel.NewTDL(taps, false)
 		tdls[fmt.Sprintf("freq_%dtaps", n)] = channel.NewTDL(taps, true)
+	}
+
+	// items gives per-op item counts for ns/item normalization (per-node
+	// cost for the fleet-cycle workloads); absent names are unit workloads.
+	items := map[string]int{
+		"fleet_cycle64_serial":        64,
+		"fleet_cycle64_parallel":      64,
+		"abstract_cycle100k_serial":   100_000,
+		"abstract_cycle100k_parallel": 100_000,
+		"abstract_cycle1m_serial":     1_000_000,
+		"abstract_cycle1m_parallel":   1_000_000,
 	}
 
 	workloads := []struct {
@@ -277,12 +303,22 @@ func main() {
 			}
 		}},
 		{"abstract_cycle100k_serial", func() {
-			if _, err := abstractSerial.RunCycle(); err != nil {
+			if _, err := abstractSerial().RunCycle(); err != nil {
 				fatal(err)
 			}
 		}},
 		{"abstract_cycle100k_parallel", func() {
-			if _, err := abstractParallel.RunCycle(); err != nil {
+			if _, err := abstractParallel().RunCycle(); err != nil {
+				fatal(err)
+			}
+		}},
+		{"abstract_cycle1m_serial", func() {
+			if _, err := abstract1mSerial().RunCycle(); err != nil {
+				fatal(err)
+			}
+		}},
+		{"abstract_cycle1m_parallel", func() {
+			if _, err := abstract1mParallel().RunCycle(); err != nil {
 				fatal(err)
 			}
 		}},
@@ -304,9 +340,21 @@ func main() {
 		if *filter != "" && !strings.Contains(w.name, *filter) {
 			continue
 		}
+		if rep.CPUs == 1 && strings.HasSuffix(w.name, "_parallel") {
+			// On a single-CPU box the pooled path measures the serial
+			// workload plus scheduling noise — skip rather than record a
+			// number that reads as a pool regression.
+			fmt.Fprintf(os.Stderr, "vabbench: %-28s skipped (single CPU: parallel ≡ serial + noise)\n", w.name)
+			continue
+		}
 		r := measure(w.name, *budget, w.f)
-		fmt.Fprintf(os.Stderr, "vabbench: %-28s %12.0f ns/op %8.1f allocs/op (%d iters)\n",
-			r.Name, r.NsPerOp, r.AllocsPerOp, r.Iters)
+		perItem := ""
+		if n := items[w.name]; n > 0 {
+			r.NsPerItem = r.NsPerOp / float64(n)
+			perItem = fmt.Sprintf(" %8.1f ns/item", r.NsPerItem)
+		}
+		fmt.Fprintf(os.Stderr, "vabbench: %-28s %12.0f ns/op %8.1f allocs/op %12.0f B/op%s (%d iters)\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, perItem, r.Iters)
 		rep.Results = append(rep.Results, r)
 	}
 

@@ -12,6 +12,7 @@
 //	vabsim -exp e11 -faults shrimp+shadowing  # chaos campaign
 //	vabsim -exp list           # inventory with one-line descriptions
 //	vabsim -exp e12            # abstract-tier 100k-node fleet campaign
+//	vabsim -exp e12 -nodes 1000000  # the same campaign at a million nodes
 //	vabsim -calibrate internal/linksim/testdata/calibration_v1.json
 package main
 
@@ -38,6 +39,7 @@ func main() {
 	trials := flag.Int("trials", 0, "Monte-Carlo trials per cell (0 = experiment default)")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for Monte-Carlo cells, concurrent experiments and fleet poll waves (seeded output is bit-identical at any count)")
+	nodes := flag.Int("nodes", 0, "fleet size for abstract-fleet experiments (e12; 0 = experiment default of 100000)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	list := flag.Bool("list", false, "list the experiment inventory and exit")
 	faultSpec := flag.String("faults", "", "fault scenario for fault-injecting experiments (e.g. chaos, shrimp+shadowing:0.5); 'list' prints the inventory")
@@ -135,7 +137,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Trials: *trials, Seed: *seed, Workers: *workers, Faults: *faultSpec}
+	opts := experiments.Options{Trials: *trials, Seed: *seed, Workers: *workers, Faults: *faultSpec, Nodes: *nodes}
 	var results []*experiments.Result
 	if strings.EqualFold(*exp, "all") {
 		all, err := experiments.RunAll(opts)

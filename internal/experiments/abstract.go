@@ -10,19 +10,26 @@ import (
 )
 
 // E12AbstractFleet runs the link-abstraction tier at deployment scale: a
-// 100 000-node fleet polled for Options.Trials cycles (default 10) through
-// the calibrated statistical model, under the fault scenario from
-// Options.Faults (default "chaos"), with the full recovery stack — MAC
-// probation and SNR-triggered rate stepdown — plus hero-link waveform
-// cross-checks every cycle.
+// 100 000-node fleet (Options.Nodes overrides, up to millions) polled for
+// Options.Trials cycles (default 10) through the calibrated statistical
+// model, under the fault scenario from Options.Faults (default "chaos"),
+// with the full recovery stack — MAC probation and SNR-triggered rate
+// stepdown — plus hero-link waveform cross-checks every cycle.
 //
 // E12 is opt-in (not part of IDs()/RunAll), like E11: it varies with
 // Options.Faults and would otherwise break the fixed `-exp all` transcript
-// contract. Fixed (Seed, Trials, Faults) make the run fully deterministic
-// at any -workers count — the property the abstract-tier CI leg checks by
-// byte-comparing workers=1 against workers=8.
+// contract. Fixed (Seed, Trials, Nodes, Faults) make the run fully
+// deterministic at any -workers count — the property the abstract-tier CI
+// legs check by byte-comparing workers=1 against workers=8, at the default
+// size and at a million nodes.
 func E12AbstractFleet(opts Options) (*Result, error) {
-	const nodes = 100_000
+	nodes := opts.Nodes
+	if nodes == 0 {
+		nodes = 100_000
+	}
+	if nodes < 0 {
+		return nil, fmt.Errorf("experiments: E12 needs a positive node count, got %d", nodes)
+	}
 	cycles := opts.trials(10)
 	spec := opts.Faults
 	if spec == "" {
@@ -51,6 +58,7 @@ func E12AbstractFleet(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer fleet.Close()
 	rc, err := mac.NewRateController([]float64{125, 250, 500}, 12)
 	if err != nil {
 		return nil, err

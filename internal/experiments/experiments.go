@@ -43,6 +43,11 @@ type Options struct {
 	Seed    int64 // base RNG seed
 	Workers int   // concurrency for Monte-Carlo cells and RunMany (0 → NumCPU, 1 → serial)
 
+	// Nodes overrides the fleet size for experiments that poll an abstract
+	// fleet (E12; 0 → the experiment's default). Per-node draws are seeded
+	// by node index, so transcripts with equal Nodes agree at any Workers.
+	Nodes int
+
 	// Faults selects the fault scenario for experiments that inject faults
 	// (E11): a faults.Parse spec such as "chaos" or "shrimp+shadowing:0.5".
 	// Empty selects each experiment's default. Fault-free experiments

@@ -1,10 +1,11 @@
 package linksim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
+	"runtime/pprof"
 	"sync"
 
 	"vab/internal/core"
@@ -92,29 +93,74 @@ type fleetMetrics struct {
 	quarant   *telemetry.Counter
 	restored  *telemetry.Counter
 	dropped   *telemetry.Counter
+	cellHits  *telemetry.Counter // cycles served from the resolved-cell cache
 	live      *telemetry.Gauge
+}
+
+// modelKey identifies the model parameters a cycle's cell resolution
+// depends on. Cycles sharing a key resolve every node to identical cells,
+// which is what makes the resolved-cell cache sound.
+type modelKey struct {
+	severity float64
+	snrDelta float64
+}
+
+// cachedCell is one node's resolved link model under a modelKey: the
+// interpolated cell, the rate-shifted delivery probability, and the
+// Poisson loop constant e^{-CorrMean} — everything a poll draw needs, so
+// a cache hit skips the trilinear table walk entirely.
+type cachedCell struct {
+	cell       Cell
+	p          float64
+	expNegCorr float64
+}
+
+// Exec-phase block kinds dispatched to the worker pool.
+const (
+	blockPoll     = iota // draw outcomes for f.work[lo:hi]
+	blockPopulate        // resolve cells for nodes [lo, hi) into the cache
+)
+
+// blockSpan is one sharded unit of a cycle's execution phase.
+type blockSpan struct{ lo, hi int32 }
+
+// fleetPool is the persistent execution-phase worker pool. Workers live
+// for the fleet's lifetime (until Close) and block on the jobs channel
+// between cycles, so a steady-state cycle costs channel sends, not
+// goroutine spawns.
+type fleetPool struct {
+	width int
+	jobs  chan blockSpan
 }
 
 // Fleet is the link-abstraction tier: up to ~10⁶ nodes polled per cycle
 // through the calibrated statistical model, with the MAC layer's exact
 // liveness semantics. The scheduler is event-driven — per-cycle work is
 // O(live nodes + due probes), not O(all nodes): quarantined nodes sit in a
-// probe calendar keyed by their next re-probe cycle and cost nothing until
-// it comes up.
+// probe calendar wheel keyed by their next re-probe cycle and cost nothing
+// until it comes up.
+//
+// Per-node state is struct-of-arrays (mac.NodeColumns): the fold phase
+// and liveness scans stream through dense hot columns instead of dragging
+// a ~100-byte struct per node through the cache, and a steady-state cycle
+// allocates nothing — the work list, outcome buffer, live list, restore
+// scratch, calendar buckets and worker pool are all owned by the Fleet
+// and reused.
 type Fleet struct {
 	cfg   Config
 	table *Table
 	env   int
 
-	states  []mac.NodeState // indexed by node
-	coords  []linkCoord     // per-node interpolation coordinates
+	cols    *mac.NodeColumns // per-node MAC bookkeeping, SoA layout
+	coords  []linkCoord      // per-node interpolation coordinates
 	ranges  []float64
 	orients []float64
 
-	live     []int32         // ascending node indices on the regular schedule
-	probeCal map[int][]int32 // cycle → nodes whose re-probe is due then
-	nQuar    int
-	nDrop    int
+	live    []int32 // ascending node indices on the regular schedule
+	liveAlt []int32 // double buffer for the restore merge
+	wheel   probeWheel
+	nQuar   int
+	nDrop   int
 
 	cycle    int
 	seedBase uint64
@@ -125,8 +171,31 @@ type Fleet struct {
 	hero  *heroChecker
 	met   fleetMetrics
 
-	work []workItem // scratch, reused across cycles
-	outs []outcome
+	work     []workItem // scratch, reused across cycles
+	outs     []outcome
+	restored []int32
+
+	// Resolved-cell cache: valid for cycles whose modelKey matches
+	// cacheKey. Populated lazily once the key has been stable for two
+	// cycles, so chaos campaigns (a new severity every cycle) never pay
+	// for it and calm campaigns skip the per-poll table walk.
+	cellCache []cachedCell
+	cacheKey  modelKey
+	cacheOK   bool
+	lastKey   modelKey
+	lastOK    bool
+
+	// Execution-phase context, written by RunCycle before dispatch and
+	// read by pool workers; the jobs send / WaitGroup wait pair orders
+	// the accesses.
+	pool            *fleetPool
+	wg              sync.WaitGroup
+	execModel       cycleModel
+	execCycle       int
+	execMaxAttempts int
+	execKind        int
+	execCached      bool
+	execPopulate    bool
 }
 
 // NewFleet builds an abstract fleet. Placements (range, orientation) are
@@ -179,12 +248,13 @@ func NewFleet(cfg Config) (*Fleet, error) {
 		cfg:      cfg,
 		table:    t,
 		env:      env,
-		states:   make([]mac.NodeState, cfg.Nodes),
+		cols:     mac.NewNodeColumns(cfg.Nodes),
 		coords:   make([]linkCoord, cfg.Nodes),
 		ranges:   make([]float64, cfg.Nodes),
 		orients:  make([]float64, cfg.Nodes),
 		live:     make([]int32, cfg.Nodes),
-		probeCal: make(map[int][]int32),
+		liveAlt:  make([]int32, 0, cfg.Nodes),
+		wheel:    newProbeWheel(cfg.Policy.ProbeHorizon()),
 		seedBase: uint64(cfg.Seed),
 		workers:  1,
 	}
@@ -199,7 +269,7 @@ func NewFleet(cfg Config) (*Fleet, error) {
 			f.orients[i] = (2*st.f64() - 1) * cfg.MaxOrientRad
 		}
 		f.coords[i] = t.Resolve(f.ranges[i], f.orients[i])
-		f.states[i] = mac.NodeState{Addr: byte(i % 251), Health: 1}
+		f.cols.Addr[i] = byte(i % 251)
 		f.live[i] = int32(i)
 	}
 	if cfg.HeroLinks > 0 {
@@ -217,18 +287,31 @@ func (f *Fleet) NodeRange(i int) float64 { return f.ranges[i] }
 // NodeOrientation returns node i's rotation in radians.
 func (f *Fleet) NodeOrientation(i int) float64 { return f.orients[i] }
 
-// NodeState returns a copy of node i's MAC bookkeeping.
-func (f *Fleet) NodeState(i int) mac.NodeState { return f.states[i] }
+// NodeState returns a copy of node i's MAC bookkeeping, materialized from
+// the columnar layout.
+func (f *Fleet) NodeState(i int) mac.NodeState { return f.cols.State(i) }
 
 // SetWorkers bounds the execution-phase worker pool (n <= 0 selects
 // runtime.NumCPU()). Cycle outcomes are bit-identical at any width: every
 // draw is a pure function of (seed, node, cycle, attempt) and all state
-// mutation happens serially afterwards in node order.
+// mutation happens serially afterwards in node order. The pool itself is
+// persistent — workers are spawned on the first parallel cycle and reused
+// until Close or the next width change.
 func (f *Fleet) SetWorkers(n int) {
 	if n <= 0 {
 		n = runtime.NumCPU()
 	}
 	f.workers = n
+}
+
+// Close releases the persistent worker pool (if any). The fleet remains
+// usable — the next parallel cycle restarts the pool — so Close is safe
+// to defer as soon as the fleet is built.
+func (f *Fleet) Close() {
+	if f.pool != nil {
+		close(f.pool.jobs)
+		f.pool = nil
+	}
 }
 
 // EnableRateAdaptation attaches a fleet-wide rate controller: delivered
@@ -257,6 +340,7 @@ func (f *Fleet) Instrument(reg *telemetry.Registry) {
 		quarant:   reg.Counter("vab_linksim_quarantined_total", "Nodes entering probation."),
 		restored:  reg.Counter("vab_linksim_restored_total", "Nodes restored from probation."),
 		dropped:   reg.Counter("vab_linksim_dropped_total", "Nodes permanently dropped."),
+		cellHits:  reg.Counter("vab_linksim_cell_cache_cycles_total", "Cycles served from the resolved-cell cache."),
 		live:      reg.Gauge("vab_linksim_live_nodes", "Nodes on the regular schedule."),
 	}
 	f.met.live.Set(float64(len(f.live)))
@@ -276,14 +360,18 @@ func (f *Fleet) Instrument(reg *telemetry.Registry) {
 // scale:
 //
 //  1. Decision (serial): compact the live list, pull this cycle's probe
-//     bucket from the calendar, merge both into one ascending work list.
+//     bucket from the calendar wheel, merge both into one ascending work
+//     list.
 //  2. Execution (parallel): every scheduled poll's outcome is drawn
 //     independently — a pure function of (seed, node, cycle, attempt) —
-//     sharded block-wise over the worker pool with no shared state.
-//  3. Fold (serial, ascending node order): outcomes apply to node state
-//     through mac.FoldDelivered / FoldPollFailure / FoldProbeFailure, the
-//     rate controller is fed exactly as the waveform scheduler feeds it,
-//     and liveness transitions update the live list and probe calendar.
+//     sharded block-wise over the persistent worker pool with no shared
+//     state. Cycles whose model parameters are stable draw from the
+//     resolved-cell cache instead of re-interpolating the table per poll.
+//  3. Fold (serial, ascending node order): outcomes apply to the state
+//     columns through the shared mac fold primitives, the rate controller
+//     is fed exactly as the waveform scheduler feeds it, and liveness
+//     transitions update the live list and probe calendar. Telemetry
+//     counters accumulate locally and flush once per cycle.
 func (f *Fleet) RunCycle() (CycleReport, error) {
 	cycle := f.cycle
 	f.cycle++
@@ -304,11 +392,18 @@ func (f *Fleet) RunCycle() (CycleReport, error) {
 	}
 	model.chipRate = rep.ChipRate
 
+	// Cell-cache policy for this cycle. A hit requires the cache to have
+	// been populated under this exact (severity, snrDelta); population
+	// itself waits for the key to repeat once, so a key seen only once
+	// (chaos redraws severity every cycle) costs nothing.
+	key := modelKey{severity: model.severity, snrDelta: model.snrDelta}
+	useCache := f.cacheOK && key == f.cacheKey
+	populate := !useCache && f.lastOK && key == f.lastKey
+	f.lastKey, f.lastOK = key, true
+
 	// Decision phase.
 	f.work = f.work[:0]
-	probes := f.probeCal[cycle]
-	delete(f.probeCal, cycle)
-	sort.Slice(probes, func(i, j int) bool { return probes[i] < probes[j] })
+	probes := f.wheel.take(cycle)
 	pi := 0
 	for _, n := range f.live {
 		for pi < len(probes) && probes[pi] < n {
@@ -327,109 +422,110 @@ func (f *Fleet) RunCycle() (CycleReport, error) {
 		f.outs = make([]outcome, len(f.work))
 	}
 	f.outs = f.outs[:len(f.work)]
-	maxAttempts := 1 + f.cfg.Policy.MaxRetries
-	exec := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			w := f.work[i]
-			n := maxAttempts
-			if w.probe {
-				n = 1 // probes are single-attempt, as in the waveform MAC
-			}
-			f.outs[i] = model.poll(f.seedBase, w.node, f.coords[w.node], cycle, w.probe, n)
+	f.execModel = model
+	f.execCycle = cycle
+	f.execMaxAttempts = 1 + f.cfg.Policy.MaxRetries
+	if populate {
+		if f.cellCache == nil {
+			f.cellCache = make([]cachedCell, f.cfg.Nodes)
 		}
+		f.execKind = blockPopulate
+		f.dispatch(f.cfg.Nodes)
+		f.cacheKey, f.cacheOK = key, true
+		useCache = true
 	}
-	if workers := f.workers; workers <= 1 || len(f.work) < 2*workers {
-		exec(0, len(f.work))
-	} else {
-		block := (len(f.work) + workers - 1) / workers
-		var wg sync.WaitGroup
-		for lo := 0; lo < len(f.work); lo += block {
-			hi := lo + block
-			if hi > len(f.work) {
-				hi = len(f.work)
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				exec(lo, hi)
-			}(lo, hi)
-		}
-		wg.Wait()
+	f.execCached = useCache
+	if useCache {
+		f.met.cellHits.Inc()
 	}
+	f.execKind = blockPoll
+	f.dispatch(len(f.work))
 
-	// Fold phase.
+	// Fold phase. Telemetry deltas accumulate locally and flush once —
+	// a million-poll cycle performs a handful of atomic adds, not four
+	// per poll.
 	var snrSum, delaySum float64
 	var corrSum int64
-	var restored []int32
+	var mPolls, mDelivered, mTimeouts, mProbes, mQuar, mRestored, mDropped int64
+	f.restored = f.restored[:0]
 	leavers := false
+	pol := f.cfg.Policy
 	for i := range f.work {
 		w := f.work[i]
 		out := &f.outs[i]
-		st := &f.states[w.node]
+		ni := int(w.node)
 		attempts := int(out.attempts)
-		st.Polls += attempts
-		f.met.polls.Add(int64(attempts))
+		f.cols.Polls[ni] += int32(attempts)
+		mPolls += int64(attempts)
 		if w.probe {
 			rep.Probes++
-			f.met.probes.Inc()
+			mProbes++
 		} else if attempts > 1 {
-			st.Retries += attempts - 1
+			f.cols.Retries[ni] += int32(attempts - 1)
 			rep.Retries += attempts - 1
 		}
 		switch {
 		case out.delivered:
-			mac.FoldDelivered(st, out.snrDB)
+			f.cols.FoldDeliveredAt(ni, out.snrDB)
 			rep.Delivered++
-			f.met.delivered.Inc()
+			mDelivered++
 			snrSum += out.snrDB
 			delaySum += out.delayMs
 			corrSum += int64(out.corrected)
 			if w.probe {
-				st.Restore(cycle)
-				restored = append(restored, w.node)
+				f.cols.RestoreAt(ni, cycle)
+				f.restored = append(f.restored, w.node)
 				f.nQuar--
 				rep.Restored++
-				f.met.restored.Inc()
+				mRestored++
 			} else if f.rate != nil {
 				f.rate.Observe(out.snrDB)
 			}
 		case w.probe:
-			f.met.timeouts.Inc()
-			f.cfg.Policy.FoldProbeFailure(st, cycle)
-			f.probeCal[st.NextProbe()] = append(f.probeCal[st.NextProbe()], w.node)
+			mTimeouts++
+			pol.FoldProbeFailureAt(f.cols, ni, cycle)
+			f.wheel.schedule(w.node, f.cols.NextProbeAt(ni), cycle)
 		default:
-			f.met.timeouts.Inc()
+			mTimeouts++
 			if f.rate != nil {
 				f.rate.ObserveLoss()
 			}
-			switch f.cfg.Policy.FoldPollFailure(st, cycle) {
+			switch pol.FoldPollFailureAt(f.cols, ni, cycle) {
 			case mac.LivenessQuarantined:
 				f.nQuar++
 				leavers = true
-				f.met.quarant.Inc()
-				f.probeCal[st.NextProbe()] = append(f.probeCal[st.NextProbe()], w.node)
+				mQuar++
+				f.wheel.schedule(w.node, f.cols.NextProbeAt(ni), cycle)
 			case mac.LivenessDropped:
 				f.nDrop++
 				leavers = true
-				f.met.dropped.Inc()
+				mDropped++
 			}
 		}
 	}
+	f.met.polls.Add(mPolls)
+	f.met.delivered.Add(mDelivered)
+	f.met.timeouts.Add(mTimeouts)
+	f.met.probes.Add(mProbes)
+	f.met.quarant.Add(mQuar)
+	f.met.restored.Add(mRestored)
+	f.met.dropped.Add(mDropped)
 
 	// Liveness list maintenance: drop leavers, merge the restored back in
-	// (both lists are ascending, so one merge pass keeps the order).
+	// (both lists are ascending; the merge lands in the double buffer and
+	// the buffers swap, so no cycle allocates).
 	if leavers {
 		kept := f.live[:0]
 		for _, n := range f.live {
-			st := &f.states[n]
-			if !st.Quarantined && !st.Dropped {
+			if f.cols.Live(int(n)) {
 				kept = append(kept, n)
 			}
 		}
 		f.live = kept
 	}
-	if len(restored) > 0 {
-		f.live = mergeSorted(f.live, restored)
+	if len(f.restored) > 0 {
+		f.liveAlt = mergeSortedInto(f.liveAlt, f.live, f.restored)
+		f.live, f.liveAlt = f.liveAlt, f.live
 	}
 	f.met.live.Set(float64(len(f.live)))
 
@@ -457,28 +553,94 @@ func (f *Fleet) RunCycle() (CycleReport, error) {
 // is genuinely due (stale calendar entries — restored or re-quarantined
 // nodes — are skipped; their live entry or newer calendar slot owns them).
 func (f *Fleet) appendProbe(n int32, cycle int) {
-	if f.states[n].ProbeDue(cycle) {
+	if f.cols.ProbeDueAt(int(n), cycle) {
 		f.work = append(f.work, workItem{node: n, probe: true})
 	}
 }
 
-// mergeSorted merges two ascending int32 slices in place over dst's
-// storage when capacity allows.
-func mergeSorted(a, b []int32) []int32 {
-	out := make([]int32, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		if a[i] <= b[j] {
-			out = append(out, a[i])
-			i++
-		} else {
-			out = append(out, b[j])
-			j++
-		}
+// dispatch shards [0, n) over the execution pool (or runs inline when the
+// pool would not pay). Blocks are deterministic spans — workers only write
+// disjoint ranges of f.outs or f.cellCache — so results are independent
+// of which worker runs which block.
+func (f *Fleet) dispatch(n int) {
+	width := f.workers
+	if width <= 1 || n < 2*width {
+		f.runSpan(0, n)
+		return
 	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
+	f.ensurePool(width)
+	block := (n + 4*width - 1) / (4 * width)
+	if block < 2048 {
+		block = 2048
+	}
+	blocks := (n + block - 1) / block
+	f.wg.Add(blocks)
+	for lo := 0; lo < n; lo += block {
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		f.pool.jobs <- blockSpan{lo: int32(lo), hi: int32(hi)}
+	}
+	f.wg.Wait()
+}
+
+// ensurePool starts (or resizes) the persistent worker pool.
+func (f *Fleet) ensurePool(width int) {
+	if f.pool != nil && f.pool.width == width {
+		return
+	}
+	f.Close()
+	// Buffer covers a full cycle's block fan-out (≤ 4·width + 1), so the
+	// dispatching goroutine never blocks behind a busy pool.
+	p := &fleetPool{width: width, jobs: make(chan blockSpan, 4*width+4)}
+	f.pool = p
+	for w := 0; w < width; w++ {
+		go func() {
+			pprof.Do(context.Background(), pprof.Labels("vab_stage", "linksim_cycle"), func(context.Context) {
+				for j := range p.jobs {
+					f.runSpan(int(j.lo), int(j.hi))
+					f.wg.Done()
+				}
+			})
+		}()
+	}
+}
+
+// runSpan executes one block of the current execution phase.
+func (f *Fleet) runSpan(lo, hi int) {
+	if f.execKind == blockPopulate {
+		m := &f.execModel
+		for i := lo; i < hi; i++ {
+			cell, p := m.resolve(f.coords[i])
+			f.cellCache[i] = cachedCell{cell: cell, p: p, expNegCorr: math.Exp(-cell.CorrMean)}
+		}
+		return
+	}
+	m := &f.execModel
+	cycle := f.execCycle
+	maxAttempts := f.execMaxAttempts
+	if f.execCached {
+		for i := lo; i < hi; i++ {
+			w := f.work[i]
+			n := maxAttempts
+			if w.probe {
+				n = 1 // probes are single-attempt, as in the waveform MAC
+			}
+			cc := &f.cellCache[w.node]
+			f.outs[i] = m.pollCell(f.seedBase, w.node, cycle, w.probe, n, cc.cell, cc.p, cc.expNegCorr)
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		w := f.work[i]
+		n := maxAttempts
+		if w.probe {
+			n = 1
+		}
+		cell, p := m.resolve(f.coords[w.node])
+		f.outs[i] = m.pollCell(f.seedBase, w.node, cycle, w.probe, n, cell, p, 0)
+	}
 }
 
 // Tier implementation — the abstract counterpart of core.Fleet's.

@@ -1,0 +1,184 @@
+package linksim
+
+import (
+	"testing"
+
+	"vab/internal/mac"
+)
+
+// TestFleetStaleCalendarEntry: a calendar entry whose node was restored or
+// rescheduled since insertion must be skipped by the ProbeDueAt guard when
+// its bucket comes up — and must not suppress the node's real probe later.
+// The stale entries are planted directly (the package owns the wheel), the
+// skip is observed through cycle reports.
+func TestFleetStaleCalendarEntry(t *testing.T) {
+	fleet, err := NewFleet(Config{
+		Placements: []Placement{{RangeM: 50}, {RangeM: 200}},
+		Policy:     probationPolicy(),
+		Table:      hardTable(),
+		Seed:       13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycles 0-2: node 1 fails thrice and quarantines at cycle 2 with its
+	// real probe calendared for cycle 4 (base backoff 2).
+	for c := 0; c < 3; c++ {
+		if _, err := fleet.RunCycle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !fleet.cols.Quarantined(1) || fleet.cols.NextProbeAt(1) != 4 {
+		t.Fatalf("setup drifted: quarantined=%v nextProbe=%d, want true/4",
+			fleet.cols.Quarantined(1), fleet.cols.NextProbeAt(1))
+	}
+	// Plant two stale entries for cycle 3: one for the quarantined node 1
+	// (its real schedule says 4) and one for node 0, which is live.
+	fleet.wheel.schedule(1, 3, 2)
+	fleet.wheel.schedule(0, 3, 2)
+
+	rep, err := fleet.RunCycle() // cycle 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Probes != 0 || rep.Polled != 1 {
+		t.Fatalf("cycle 3: polled %d probes %d — stale entries not skipped (want 1 poll, 0 probes)",
+			rep.Polled, rep.Probes)
+	}
+	rep, err = fleet.RunCycle() // cycle 4: the genuine probe
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Probes != 1 {
+		t.Fatalf("cycle 4: probes %d, want the real calendared probe", rep.Probes)
+	}
+}
+
+// TestFleetRestoreAndDropSameCycle: one cycle restores a probed node while
+// another node leaves the live set — both flavors of leaver (permanent
+// drop, probation entry) — exercising the live-list compaction and the
+// ascending restore merge together.
+func TestFleetRestoreAndDropSameCycle(t *testing.T) {
+	// Flavor 1: Probation off — node 2 is dropped in the very cycle node 1
+	// is restored.
+	fleet, err := NewFleet(Config{
+		Placements: []Placement{{RangeM: 50}, {RangeM: 50}, {RangeM: 200}, {RangeM: 50}},
+		Policy:     mac.PollPolicy{MaxRetries: 0, BackoffSlots: 1, DropAfter: 2},
+		Table:      hardTable(),
+		Seed:       23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quarantineNode(fleet, 1, 1)
+
+	if _, err := fleet.RunCycle(); err != nil { // cycle 0: node 2 silent ×1
+		t.Fatal(err)
+	}
+	rep, err := fleet.RunCycle() // cycle 1: node 1 probe delivers; node 2 drops
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restored != 1 || rep.Dropped != 1 {
+		t.Fatalf("cycle 1: restored %d dropped %d, want 1 and 1", rep.Restored, rep.Dropped)
+	}
+	assertLive(t, fleet, []int32{0, 1, 3})
+
+	// Flavor 2: probation — the leaver enters quarantine instead of
+	// dropping, same cycle as the restore.
+	fleet2, err := NewFleet(Config{
+		Placements: []Placement{{RangeM: 50}, {RangeM: 50}, {RangeM: 200}, {RangeM: 50}},
+		Policy:     probationPolicy(),
+		Table:      hardTable(),
+		Seed:       23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quarantineNode(fleet2, 1, 2)
+	for c := 0; c < 2; c++ { // cycles 0-1: node 2 silent ×2
+		if _, err := fleet2.RunCycle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err = fleet2.RunCycle() // cycle 2: node 1 restored; node 2 quarantined
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restored != 1 || rep.Quarantined != 1 {
+		t.Fatalf("cycle 2: restored %d quarantined %d, want 1 and 1", rep.Restored, rep.Quarantined)
+	}
+	assertLive(t, fleet2, []int32{0, 1, 3})
+	rep, err = fleet2.RunCycle() // cycle 3: the merged live list is what gets polled
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Polled != 3 || rep.Probes != 0 {
+		t.Fatalf("cycle 3: polled %d probes %d, want 3 and 0", rep.Polled, rep.Probes)
+	}
+}
+
+// quarantineNode force-quarantines a live node with its probe due at
+// `due`, as a prior campaign would have left it.
+func quarantineNode(f *Fleet, node int32, due int) {
+	f.cols.Flags[node] |= mac.FlagQuarantined
+	f.cols.NextProbe[node] = int32(due)
+	f.cols.ProbeInterval[node] = 2
+	f.nQuar++
+	f.wheel.schedule(node, due, -1)
+	kept := f.live[:0]
+	for _, n := range f.live {
+		if n != node {
+			kept = append(kept, n)
+		}
+	}
+	f.live = kept
+}
+
+func assertLive(t *testing.T, f *Fleet, want []int32) {
+	t.Helper()
+	if len(f.live) != len(want) {
+		t.Fatalf("live %v, want %v", f.live, want)
+	}
+	for i := range want {
+		if f.live[i] != want[i] {
+			t.Fatalf("live %v, want ascending %v", f.live, want)
+		}
+	}
+}
+
+// TestFleetCycleAllocs pins the tentpole's zero-allocation contract: once
+// the scratch buffers, cell cache and worker pool are warm, a serial cycle
+// allocates nothing, and a pooled parallel cycle stays within a few words
+// of runtime noise. Probation churn is active (the default table leaves
+// far nodes lossy), so the pin covers the wheel and restore paths too.
+func TestFleetCycleAllocs(t *testing.T) {
+	run := func(workers int) float64 {
+		fleet, err := NewFleet(Config{
+			Nodes:  4096,
+			Policy: probationPolicy(),
+			Seed:   21,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fleet.Close()
+		fleet.SetWorkers(workers)
+		for c := 0; c < 40; c++ {
+			if _, err := fleet.RunCycle(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return testing.AllocsPerRun(20, func() {
+			if _, err := fleet.RunCycle(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	if allocs := run(1); allocs != 0 {
+		t.Fatalf("serial steady-state cycle allocates %.1f/op, want 0", allocs)
+	}
+	if allocs := run(4); allocs > 2 {
+		t.Fatalf("pooled steady-state cycle allocates %.1f/op, want ≤ 2", allocs)
+	}
+}

@@ -45,28 +45,103 @@ func (d *drawStream) f64() float64 {
 	return float64(d.next()>>11) / (1 << 53)
 }
 
-// norm returns a standard normal draw (Box–Muller; two uniforms per draw,
-// no cached spare, so the stream's draw count per call is fixed).
-func (d *drawStream) norm() float64 {
-	u1 := d.f64()
-	for u1 == 0 {
-		u1 = d.f64()
+// Ziggurat tables for norm: 128 strips of equal area zigV under the
+// standard normal density (Marsaglia–Tsang layout, float64 throughout).
+// The delivered-poll path draws two normals per poll, so this is the
+// fleet's hottest math — the ziggurat's common case is one PRNG word, two
+// multiplies and a compare, where Box–Muller costs log+sqrt+cos per draw.
+const (
+	zigR = 3.442619855899      // right edge of strip 1: the tail threshold
+	zigV = 9.91256303526217e-3 // common strip area (1/128 of unit mass, tail included)
+)
+
+var (
+	zigX [129]float64 // strip right edges: x[1] = zigR, descending to x[128] = 0
+	zigF [129]float64 // density at the edges: exp(-x²/2)
+)
+
+func init() {
+	// Equal-area recurrence: strip i is [0, x_i] × [f(x_i), f(x_{i+1})],
+	// so f(x_{i+1}) = f(x_i) + zigV/x_i. Strip 0 is the base rectangle
+	// [0, x_0] × [0, f(R)] whose width x_0 = zigV/f(R) folds the tail mass
+	// into the same area.
+	f := math.Exp(-0.5 * zigR * zigR)
+	zigX[0] = zigV / f
+	zigX[1] = zigR
+	for i := 2; i < 128; i++ {
+		f += zigV / zigX[i-1]
+		zigX[i] = math.Sqrt(-2 * math.Log(f))
 	}
-	u2 := d.f64()
-	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	zigX[128] = 0
+	for i := range zigX {
+		zigF[i] = math.Exp(-0.5 * zigX[i] * zigX[i])
+	}
+}
+
+// norm returns a standard normal draw via the ziggurat. One next() word
+// supplies the strip index (bits 0–6), the sign (bit 7) and the uniform
+// (bits 11–63); draws per call vary (rejection), which is fine — every
+// (node, cycle, attempt) owns its stream, so outcomes stay pure functions
+// of the stream seed.
+func (d *drawStream) norm() float64 {
+	for {
+		u := d.next()
+		i := int(u & 127)
+		x := float64(u>>11) / (1 << 53) * zigX[i]
+		if x < zigX[i+1] {
+			// Wholly under the density: the rectangle up to x_{i+1} needs
+			// no pdf evaluation (~98% of draws).
+			return zigSigned(u, x)
+		}
+		if i == 0 {
+			// Base strip beyond the threshold: sample the tail by
+			// Marsaglia's exponential wrap.
+			for {
+				ex := -math.Log(d.f64()) / zigR
+				ey := -math.Log(d.f64())
+				if ey+ey > ex*ex {
+					return zigSigned(u, zigR+ex)
+				}
+			}
+		}
+		// Wedge: uniform height within the strip, accept under the pdf.
+		if zigF[i]+d.f64()*(zigF[i+1]-zigF[i]) < math.Exp(-0.5*x*x) {
+			return zigSigned(u, x)
+		}
+	}
+}
+
+// zigSigned applies the sign bit (bit 7) of the strip-selection word.
+func zigSigned(u uint64, x float64) float64 {
+	if u&128 != 0 {
+		return -x
+	}
+	return x
 }
 
 // poisson draws k ~ Poisson(lambda) by Knuth's product method — the same
 // small-rate regime the faults engine uses it in.
 func (d *drawStream) poisson(lambda float64) int {
+	return d.poissonExp(lambda, 0)
+}
+
+// poissonExp is poisson with the loop constant e^{-lambda} optionally
+// precomputed (expNeg = 0 means "compute it here"). A cycle's hot path
+// resolves each node's cell once and caches the exponent alongside it, so
+// a million delivered polls skip a million math.Exp calls. lambda <= 0
+// short-circuits without consuming a draw, exactly as poisson always has —
+// the draw-count contract is what keeps transcripts bit-identical.
+func (d *drawStream) poissonExp(lambda, expNeg float64) int {
 	if lambda <= 0 {
 		return 0
 	}
-	l := math.Exp(-lambda)
+	if expNeg == 0 {
+		expNeg = math.Exp(-lambda)
+	}
 	k, p := 0, 1.0
 	for {
 		p *= d.f64()
-		if p <= l {
+		if p <= expNeg {
 			return k
 		}
 		k++
@@ -94,13 +169,21 @@ type cycleModel struct {
 	chipRate float64 // the commanded rate itself (hero systems retune to it)
 }
 
-// poll draws one node's poll for a cycle: up to maxAttempts independent
-// attempts (the MAC retry budget), each its own seeded stream. probe
-// attempts use a distinct stream domain so a probe never replays the
-// draw of a regular poll of the same (node, cycle).
-func (m *cycleModel) poll(seedBase uint64, node int32, coord linkCoord, cycle int, probe bool, maxAttempts int) outcome {
+// resolve interpolates a node's calibration cell under this cycle's model
+// parameters and applies the rate-command delivery shift. Pure in the
+// model and coordinate, so resolved cells are cacheable across cycles
+// whose (severity, snrDelta) match.
+func (m *cycleModel) resolve(coord linkCoord) (Cell, float64) {
 	cell := m.table.Lookup(m.env, coord, m.severity)
-	p := m.table.ShiftDelivery(cell.PDeliver, m.snrDelta)
+	return cell, m.table.ShiftDelivery(cell.PDeliver, m.snrDelta)
+}
+
+// pollCell draws one node's poll for a cycle from an already-resolved
+// cell: up to maxAttempts independent attempts (the MAC retry budget),
+// each its own seeded stream. probe attempts use a distinct stream domain
+// so a probe never replays the draw of a regular poll of the same
+// (node, cycle). expNegCorr is e^{-cell.CorrMean} if precomputed, else 0.
+func (m *cycleModel) pollCell(seedBase uint64, node int32, cycle int, probe bool, maxAttempts int, cell Cell, p, expNegCorr float64) outcome {
 	domain := uint64(0)
 	if probe {
 		domain = 1 << 40
@@ -114,7 +197,7 @@ func (m *cycleModel) poll(seedBase uint64, node int32, coord linkCoord, cycle in
 		}
 		out.delivered = true
 		out.snrDB = cell.SNRMeanDB + cell.SNRStdDB*st.norm() + m.snrDelta
-		out.corrected = uint16(st.poisson(cell.CorrMean))
+		out.corrected = uint16(st.poissonExp(cell.CorrMean, expNegCorr))
 		// Delay: propagation plus a small sway-scale jitter (±0.1 ms RMS).
 		d := cell.DelayMs + 0.1*st.norm()
 		if d < 0 {
@@ -124,4 +207,11 @@ func (m *cycleModel) poll(seedBase uint64, node int32, coord linkCoord, cycle in
 		return out
 	}
 	return out
+}
+
+// poll is resolve + pollCell in one step — the convenience path for
+// callers outside the fleet's cached hot loop.
+func (m *cycleModel) poll(seedBase uint64, node int32, coord linkCoord, cycle int, probe bool, maxAttempts int) outcome {
+	cell, p := m.resolve(coord)
+	return m.pollCell(seedBase, node, cycle, probe, maxAttempts, cell, p, 0)
 }

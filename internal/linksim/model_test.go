@@ -1,0 +1,110 @@
+package linksim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestZigguratTables pins the equal-area construction: every strip
+// (including the tail-folding base) has area zigV, edges descend to 0 and
+// the densities ascend to f(0) = 1.
+func TestZigguratTables(t *testing.T) {
+	if zigX[1] != zigR || zigX[128] != 0 || zigF[128] != 1 {
+		t.Fatalf("anchors drifted: x1=%v x128=%v f128=%v", zigX[1], zigX[128], zigF[128])
+	}
+	for i := 1; i < 128; i++ {
+		if zigX[i+1] >= zigX[i] {
+			t.Fatalf("edges not descending at %d: %v >= %v", i, zigX[i+1], zigX[i])
+		}
+		// 1e-9: the published (R, V) pair carries ~11 digits, and strip 127
+		// absorbs the closure error of pinning x[128] to exactly 0.
+		area := zigX[i] * (zigF[i+1] - zigF[i])
+		if math.Abs(area-zigV) > 1e-9 {
+			t.Fatalf("strip %d area %v, want %v", i, area, zigV)
+		}
+	}
+	// Base strip: rectangle area equals zigV with the tail mass folded in.
+	if got := zigX[0] * zigF[1]; math.Abs(got-zigV) > 1e-12 {
+		t.Fatalf("base strip area %v, want %v", got, zigV)
+	}
+}
+
+// TestNormDistribution: the ziggurat must actually sample N(0, 1) —
+// moments, symmetry and tail mass within Monte-Carlo tolerance, and the
+// same stream seed must reproduce the same sequence.
+func TestNormDistribution(t *testing.T) {
+	const n = 2_000_000
+	st := newStream(mix(0xace, 1))
+	var sum, sum2, sum3 float64
+	tail2, tail344 := 0, 0
+	min, max := math.Inf(1), math.Inf(-1)
+	for i := 0; i < n; i++ {
+		x := st.norm()
+		sum += x
+		sum2 += x * x
+		sum3 += x * x * x
+		if math.Abs(x) > 2 {
+			tail2++
+		}
+		if math.Abs(x) > zigR {
+			tail344++
+		}
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	skew := sum3 / n
+	if math.Abs(mean) > 0.005 {
+		t.Fatalf("mean %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.01 {
+		t.Fatalf("variance %v, want ~1", variance)
+	}
+	if math.Abs(skew) > 0.02 {
+		t.Fatalf("third moment %v, want ~0", skew)
+	}
+	// P(|X| > 2) = 4.55%; P(|X| > 3.4426) ≈ 5.76e-4 — the tail path must
+	// fire and carry roughly the right mass.
+	if f := float64(tail2) / n; math.Abs(f-0.0455) > 0.003 {
+		t.Fatalf("P(|x|>2) = %v, want ≈ 0.0455", f)
+	}
+	if f := float64(tail344) / n; f < 2e-4 || f > 12e-4 {
+		t.Fatalf("P(|x|>R) = %v, want ≈ 5.8e-4", f)
+	}
+	if min > -zigR || max < zigR {
+		t.Fatalf("tail never exceeded ±R: min %v max %v", min, max)
+	}
+
+	// Reproducibility: same seed, same sequence.
+	a, b := newStream(42), newStream(42)
+	for i := 0; i < 1000; i++ {
+		if a.norm() != b.norm() {
+			t.Fatalf("draw %d diverged across identically-seeded streams", i)
+		}
+	}
+}
+
+// TestPoissonExpMatchesPoisson: the precomputed-exponent path must be
+// draw-for-draw identical to the plain path, including the zero-rate
+// short-circuit consuming no draws.
+func TestPoissonExpMatchesPoisson(t *testing.T) {
+	for _, lambda := range []float64{0, 0.3, 1.5, 4} {
+		a, b := newStream(7), newStream(7)
+		exp := math.Exp(-lambda)
+		for i := 0; i < 500; i++ {
+			ka := a.poisson(lambda)
+			kb := b.poissonExp(lambda, exp)
+			if ka != kb {
+				t.Fatalf("lambda %v draw %d: %d vs %d", lambda, i, ka, kb)
+			}
+		}
+		if a.s != b.s {
+			t.Fatalf("lambda %v: stream positions diverged", lambda)
+		}
+	}
+}

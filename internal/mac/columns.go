@@ -1,0 +1,176 @@
+package mac
+
+// Struct-of-arrays fold state.
+//
+// NodeState is the right layout for a waveform scheduler polling tens of
+// nodes: one struct per node, mutated in place. At fleet scale (10⁵–10⁶
+// abstract nodes per cycle, internal/linksim) the same layout becomes the
+// bottleneck — every fold-phase transition touches a ~100-byte struct, so
+// a cycle's serial fold drags two cache lines per node through the cache
+// even though it reads a handful of fields. NodeColumns is the same state
+// as parallel arrays, split into the *hot* columns the fold phase and the
+// decision phase stream (health, silent-cycle count, liveness flags,
+// probe schedule) and the *cold* columns only reports materialize
+// (cumulative counters, last SNR, quarantine provenance).
+//
+// The transitions below mirror fold.go's primitives field for field —
+// FoldDeliveredAt ↔ FoldDelivered, FoldPollFailureAt ↔ FoldPollFailure,
+// and so on — and share the scalar health EWMA (foldHealth) with the
+// NodeState path, so a fleet folding through columns makes bit-identical
+// decisions to a scheduler folding through structs. TestColumnsMatchFold
+// pins the parity over randomized outcome sequences, and the
+// link-abstraction tier's TestFleetMatchesMacScheduler pins it end to end
+// against a live Scheduler.
+//
+// Counters are int32: a single node would need 2³¹ polls to overflow —
+// about 68 years of one-second cycles — while the narrower columns keep a
+// million-node fleet's hot state inside ~20 MB.
+
+// Liveness flag bits of NodeColumns.Flags.
+const (
+	// FlagQuarantined marks a node in probation (NodeState.Quarantined).
+	FlagQuarantined uint8 = 1 << iota
+	// FlagDropped marks a permanently removed node (NodeState.Dropped).
+	FlagDropped
+)
+
+// NodeColumns holds per-node scheduler bookkeeping as struct-of-arrays,
+// indexed by a dense node index the owner assigns (the link-abstraction
+// tier uses its fleet node index).
+type NodeColumns struct {
+	// Hot columns: read or written by every fold-phase transition and by
+	// the decision phase's liveness scan.
+	Health        []float64 // delivery EWMA in [0, 1] (NodeState.Health)
+	SilentCycles  []int32   // consecutive failed cycles
+	Flags         []uint8   // FlagQuarantined | FlagDropped
+	ProbeInterval []int32   // current re-probe backoff, cycles
+	NextProbe     []int32   // cycle index of the next re-probe
+
+	// Cold columns: cumulative statistics reports materialize.
+	Polls             []int32
+	Successes         []int32
+	Retries           []int32
+	QuarantineEntries []int32
+	QuarantinedAt     []int32
+	LastSNRdB         []float64
+	Addr              []byte
+}
+
+// NewNodeColumns allocates columns for n nodes, each initialized exactly
+// as Scheduler.AddNode initializes a NodeState: health 1, everything else
+// zero. Addresses are left 0 for the owner to assign.
+func NewNodeColumns(n int) *NodeColumns {
+	c := &NodeColumns{
+		Health:            make([]float64, n),
+		SilentCycles:      make([]int32, n),
+		Flags:             make([]uint8, n),
+		ProbeInterval:     make([]int32, n),
+		NextProbe:         make([]int32, n),
+		Polls:             make([]int32, n),
+		Successes:         make([]int32, n),
+		Retries:           make([]int32, n),
+		QuarantineEntries: make([]int32, n),
+		QuarantinedAt:     make([]int32, n),
+		LastSNRdB:         make([]float64, n),
+		Addr:              make([]byte, n),
+	}
+	for i := range c.Health {
+		c.Health[i] = 1
+	}
+	return c
+}
+
+// Len returns the node count.
+func (c *NodeColumns) Len() int { return len(c.Health) }
+
+// Live reports whether node i is on the regular schedule (neither
+// quarantined nor dropped).
+func (c *NodeColumns) Live(i int) bool { return c.Flags[i] == 0 }
+
+// Quarantined reports whether node i is in probation.
+func (c *NodeColumns) Quarantined(i int) bool { return c.Flags[i]&FlagQuarantined != 0 }
+
+// Dropped reports whether node i was permanently removed.
+func (c *NodeColumns) Dropped(i int) bool { return c.Flags[i]&FlagDropped != 0 }
+
+// FoldDeliveredAt is FoldDelivered over the columnar layout.
+func (c *NodeColumns) FoldDeliveredAt(i int, snrDB float64) {
+	c.Successes[i]++
+	c.LastSNRdB[i] = snrDB
+	c.SilentCycles[i] = 0
+	c.Health[i] = foldHealth(c.Health[i], true)
+}
+
+// RestoreAt is (*NodeState).Restore over the columnar layout: quarantine
+// exit after a successful re-probe, returning the recovery latency.
+func (c *NodeColumns) RestoreAt(i, cycle int) int {
+	c.Flags[i] &^= FlagQuarantined
+	return cycle - int(c.QuarantinedAt[i]) + 1
+}
+
+// FoldProbeFailureAt is PollPolicy.FoldProbeFailure over the columnar
+// layout: health decay plus the doubled, capped re-probe backoff.
+func (p PollPolicy) FoldProbeFailureAt(c *NodeColumns, i, cycle int) {
+	c.Health[i] = foldHealth(c.Health[i], false)
+	iv := c.ProbeInterval[i] * 2
+	if max := int32(p.probeMax()); iv > max {
+		iv = max
+	}
+	c.ProbeInterval[i] = iv
+	c.NextProbe[i] = int32(cycle) + iv
+}
+
+// FoldPollFailureAt is PollPolicy.FoldPollFailure over the columnar
+// layout: the silent cycle is counted and the liveness policy applied.
+func (p PollPolicy) FoldPollFailureAt(c *NodeColumns, i, cycle int) LivenessChange {
+	c.Health[i] = foldHealth(c.Health[i], false)
+	c.SilentCycles[i]++
+	if p.DropAfter > 0 && int(c.SilentCycles[i]) >= p.DropAfter {
+		if p.Probation {
+			c.Flags[i] |= FlagQuarantined
+			c.QuarantineEntries[i]++
+			c.QuarantinedAt[i] = int32(cycle)
+			c.ProbeInterval[i] = int32(p.probeBase())
+			c.NextProbe[i] = int32(cycle) + c.ProbeInterval[i]
+			return LivenessQuarantined
+		}
+		c.Flags[i] |= FlagDropped
+		return LivenessDropped
+	}
+	return LivenessNone
+}
+
+// ProbeDueAt is (*NodeState).ProbeDue over the columnar layout.
+func (c *NodeColumns) ProbeDueAt(i, cycle int) bool {
+	return c.Flags[i]&FlagQuarantined != 0 && int32(cycle) >= c.NextProbe[i]
+}
+
+// NextProbeAt returns node i's next scheduled re-probe cycle (meaningful
+// only while quarantined).
+func (c *NodeColumns) NextProbeAt(i int) int { return int(c.NextProbe[i]) }
+
+// State materializes node i as a NodeState, for reports and for parity
+// checks against struct-folding schedulers.
+func (c *NodeColumns) State(i int) NodeState {
+	return NodeState{
+		Addr:              c.Addr[i],
+		Polls:             int(c.Polls[i]),
+		Successes:         int(c.Successes[i]),
+		Retries:           int(c.Retries[i]),
+		SilentCycles:      int(c.SilentCycles[i]),
+		Dropped:           c.Flags[i]&FlagDropped != 0,
+		LastSNRdB:         c.LastSNRdB[i],
+		Health:            c.Health[i],
+		Quarantined:       c.Flags[i]&FlagQuarantined != 0,
+		QuarantineEntries: int(c.QuarantineEntries[i]),
+		probeInterval:     int(c.ProbeInterval[i]),
+		nextProbe:         int(c.NextProbe[i]),
+		quarantinedAt:     int(c.QuarantinedAt[i]),
+	}
+}
+
+// ProbeHorizon returns the resolved re-probe backoff cap in cycles — the
+// farthest ahead of the current cycle FoldPollFailureAt/FoldProbeFailureAt
+// will ever schedule a re-probe. Event-driven schedulers size their probe
+// calendars with it.
+func (p PollPolicy) ProbeHorizon() int { return p.probeMax() }

@@ -247,13 +247,20 @@ func (s *Scheduler) liveCount() int {
 // healthAlpha is the EWMA coefficient of the per-node health score.
 const healthAlpha = 0.25
 
-// observeHealth folds one cycle outcome into the node's health score.
-func observeHealth(st *NodeState, delivered bool) {
+// foldHealth is the scalar EWMA update both state representations share
+// (NodeState and the struct-of-arrays NodeColumns): one arithmetic
+// expression, so the two layouts stay bit-identical by construction.
+func foldHealth(h float64, delivered bool) float64 {
 	outcome := 0.0
 	if delivered {
 		outcome = 1
 	}
-	st.Health = (1-healthAlpha)*st.Health + healthAlpha*outcome
+	return (1-healthAlpha)*h + healthAlpha*outcome
+}
+
+// observeHealth folds one cycle outcome into the node's health score.
+func observeHealth(st *NodeState, delivered bool) {
+	st.Health = foldHealth(st.Health, delivered)
 }
 
 // SetRateController attaches a rate controller: every delivered cycle
