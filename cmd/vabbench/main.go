@@ -31,8 +31,10 @@ import (
 	"vab/internal/core"
 	"vab/internal/dsp"
 	"vab/internal/experiments"
+	"vab/internal/gateway"
 	"vab/internal/linksim"
 	"vab/internal/mac"
+	"vab/internal/node"
 	"vab/internal/ocean"
 	"vab/internal/sim"
 )
@@ -229,8 +231,38 @@ func main() {
 		tdls[fmt.Sprintf("freq_%dtaps", n)] = channel.NewTDL(taps, true)
 	}
 
+	// Wire-codec workloads: the bit-packed sensor payload and the batched
+	// gateway format, steady state (reused buffers — both paths pin zero
+	// allocations per op in their package tests).
+	packRng := rand.New(rand.NewSource(3))
+	packReadings := make([]node.Reading, 6)
+	for i := range packReadings {
+		packReadings[i] = node.Reading{
+			Count:        1000 + uint32(i),
+			TempC:        float64(1200+packRng.Intn(40)+i) / 100,
+			PressureMbar: float64(1290 + packRng.Intn(8)),
+		}
+	}
+	packBuf := make([]byte, 0, node.PackedPayloadSize(len(packReadings)))
+	wireReadings := make([]gateway.Reading, 16)
+	for i := range wireReadings {
+		wireReadings[i] = gateway.Reading{
+			NodeAddr: byte(i%4 + 1), Seq: byte(i), Count: 500 + uint32(i),
+			TempC: float64(1200+i) / 100, PressureMbar: float64(1290 + i),
+			SNRdB: float64(1500+packRng.Intn(300)) / 100,
+			Time:  time.Unix(0, 1700000000000000000+int64(i)*250e6).UTC(),
+		}
+	}
+	wireBuf := make([]byte, 0, gateway.MaxPayloadSize)
+	wirePayload, err := gateway.AppendReadingBatch(nil, wireReadings)
+	if err != nil {
+		fatal(err)
+	}
+	wireDecoded := make([]gateway.Reading, 0, len(wireReadings))
+
 	// items gives per-op item counts for ns/item normalization (per-node
-	// cost for the fleet-cycle workloads); absent names are unit workloads.
+	// cost for the fleet-cycle workloads, per-reading cost for the wire
+	// codecs); absent names are unit workloads.
 	items := map[string]int{
 		"fleet_cycle64_serial":        64,
 		"fleet_cycle64_parallel":      64,
@@ -238,6 +270,9 @@ func main() {
 		"abstract_cycle100k_parallel": 100_000,
 		"abstract_cycle1m_serial":     1_000_000,
 		"abstract_cycle1m_parallel":   1_000_000,
+		"payload_pack6":               6,
+		"wire_encode_batch16":         16,
+		"wire_decode_batch16":         16,
 	}
 
 	workloads := []struct {
@@ -319,6 +354,27 @@ func main() {
 		}},
 		{"abstract_cycle1m_parallel", func() {
 			if _, err := abstract1mParallel().RunCycle(); err != nil {
+				fatal(err)
+			}
+		}},
+		{"payload_pack6", func() {
+			var err error
+			packBuf, err = node.AppendPacked(packBuf[:0], packReadings)
+			if err != nil {
+				fatal(err)
+			}
+		}},
+		{"wire_encode_batch16", func() {
+			var err error
+			wireBuf, err = gateway.AppendReadingBatch(wireBuf[:0], wireReadings)
+			if err != nil {
+				fatal(err)
+			}
+		}},
+		{"wire_decode_batch16", func() {
+			var err error
+			wireDecoded, err = gateway.DecodeReadingBatchInto(wireDecoded[:0], wirePayload)
+			if err != nil {
 				fatal(err)
 			}
 		}},

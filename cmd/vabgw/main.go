@@ -35,6 +35,9 @@ func main() {
 	envName := flag.String("env", "river", "environment: river or ocean")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines per polling cycle (waves of node rounds run concurrently; cycle output is bit-identical at any count)")
 	metricsAddr := flag.String("metrics", "", "ops endpoint address for /metrics, /healthz and pprof (empty = telemetry off)")
+	packed := flag.Int("packed", 0, "node payload batch: ≤1 = v1 single-reading payloads, 2..8 = packed multi-reading payloads (readings per response frame)")
+	batch := flag.Int("batch", 1, "gateway broadcast coalescing: readings per flush (1 = publish immediately; v2 subscribers receive batch frames)")
+	flush := flag.Duration("flush", 25*time.Millisecond, "gateway flush deadline for a partial batch")
 	flag.Parse()
 
 	var env *ocean.Environment
@@ -68,7 +71,7 @@ func main() {
 		}
 	}
 	fleet, err := core.NewFleet(
-		core.SystemConfig{Env: env, Design: design, Range: 1, Seed: 1000},
+		core.SystemConfig{Env: env, Design: design, Range: 1, Seed: 1000, SensorBatch: *packed},
 		placements, mac.DefaultPollPolicy(),
 	)
 	if err != nil {
@@ -82,6 +85,7 @@ func main() {
 		log.Fatalf("vabgw: %v", err)
 	}
 	defer srv.Close()
+	srv.SetBatching(*batch, *flush)
 	log.Printf("vabgw: serving %d nodes (%s) on %s", *nodes, env.Name, srv.Addr())
 
 	// Telemetry is off (free no-ops everywhere) unless -metrics names an

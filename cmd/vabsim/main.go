@@ -13,6 +13,7 @@
 //	vabsim -exp list           # inventory with one-line descriptions
 //	vabsim -exp e12            # abstract-tier 100k-node fleet campaign
 //	vabsim -exp e12 -nodes 1000000  # the same campaign at a million nodes
+//	vabsim -exp e13            # packed payload batching: readings/frame, wire bytes
 //	vabsim -calibrate internal/linksim/testdata/calibration_v1.json
 package main
 
@@ -78,7 +79,7 @@ func main() {
 		for _, line := range experiments.Describe() {
 			fmt.Println(line)
 		}
-		fmt.Println("\nopt-in experiments (E11, E12) run only when named: vabsim -exp e12")
+		fmt.Println("\nopt-in experiments (E11, E12, E13) run only when named: vabsim -exp e13")
 		return
 	}
 

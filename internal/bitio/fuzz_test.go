@@ -1,0 +1,50 @@
+package bitio
+
+import "testing"
+
+// FuzzBitReader drives the Reader with arbitrary bytes and a schedule of
+// reads derived from the input: it must never panic, never hand back
+// more bits than the buffer holds, and varint reads must either fail
+// cleanly or re-encode to a stream the reader accepts at the same
+// cursor advance.
+func FuzzBitReader(f *testing.F) {
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{0xFF, 0x00, 0xAB}, uint8(13))
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80}, uint8(0))
+	var seed Writer
+	seed.WriteUvarint(1 << 40)
+	seed.WriteVarint(-12345)
+	f.Add(seed.Finish(), uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, widthSeed uint8) {
+		r := NewReader(data)
+		// Alternate fixed-width and varint reads until the stream drains.
+		width := uint(widthSeed%64) + 1
+		for r.Remaining() > 0 {
+			before := r.Remaining()
+			v, err := r.ReadBits(width)
+			if err != nil {
+				if before >= int(width) {
+					t.Fatalf("ReadBits(%d) failed with %d bits left: %v", width, before, err)
+				}
+				break
+			}
+			if v&^((1<<width)-1) != 0 && width < 64 {
+				t.Fatalf("ReadBits(%d) returned out-of-range value 0x%X", width, v)
+			}
+			u, err := r.ReadUvarint()
+			if err != nil {
+				break
+			}
+			// The decoder may accept padded (non-canonical) groups, but
+			// never fewer than the canonical re-encoding needs, and never
+			// more than the 10-group cap.
+			var w Writer
+			w.WriteUvarint(u)
+			canonical := len(w.Finish()) * 8
+			consumed := before - int(width) - r.Remaining()
+			if consumed < canonical || consumed > 80 {
+				t.Fatalf("varint %d consumed %d bits, canonical %d", u, consumed, canonical)
+			}
+		}
+	})
+}

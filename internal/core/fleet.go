@@ -216,7 +216,10 @@ type FleetReading struct {
 }
 
 // RunCycle polls every live node once (with the policy's retries) and
-// returns the decoded readings in ascending address order.
+// returns the decoded readings in ascending address order. A node running
+// the packed payload format (SystemConfig.SensorBatch > 1) contributes
+// every reading its frame carried, oldest first, so one delivered frame
+// can yield several FleetReadings.
 func (f *Fleet) RunCycle() ([]FleetReading, mac.CycleReport, error) {
 	rep, err := f.sched.RunCycle()
 	if err != nil {
@@ -229,16 +232,19 @@ func (f *Fleet) RunCycle() ([]FleetReading, mac.CycleReport, error) {
 		snr[st.Addr] = st.LastSNRdB
 	}
 	out := make([]FleetReading, 0, len(rep.Payloads))
+	var scratch []node.Reading
 	for _, addr := range f.order {
 		payload, ok := rep.Payloads[addr]
 		if !ok {
 			continue
 		}
-		rd, ok := node.DecodeReading(payload)
+		scratch, ok = node.AppendDecodedReadings(scratch[:0], payload)
 		if !ok {
 			continue
 		}
-		out = append(out, FleetReading{Addr: addr, Reading: rd, SNRdB: snr[addr]})
+		for _, rd := range scratch {
+			out = append(out, FleetReading{Addr: addr, Reading: rd, SNRdB: snr[addr]})
+		}
 	}
 	return out, rep, nil
 }

@@ -59,6 +59,13 @@ type SystemConfig struct {
 	// no real float experiences.
 	SwayRMS float64
 
+	// SensorBatch selects the node's payload format: ≤1 (the default)
+	// keeps the v1 single-reading 8-byte payload and bit-identical seeded
+	// transcripts; 2..node.MaxPackedBatch equips the node with a
+	// PackedEnvSensor whose fixed-size packed payload carries that many
+	// delta-coded readings per response frame.
+	SensorBatch int
+
 	Seed int64
 }
 
@@ -78,6 +85,14 @@ type System struct {
 	querySeq byte
 	sway     *rand.Rand
 	linkSeed int64
+
+	// payloadLen is the response payload size the reader expects (the
+	// demodulation window must be sized before decoding): node.PayloadSize
+	// for v1 sensors, the fixed padded packed size when SensorBatch > 1.
+	payloadLen int
+	// readingsBuf is reused by RunRound's payload validation so packed
+	// multi-reading payloads parse without allocating per round.
+	readingsBuf []node.Reading
 
 	// ook is the node-side downlink demodulator, built once: it is
 	// configuration-only, so constructing it per round bought nothing.
@@ -246,18 +261,36 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	harv.BatteryBacked = true
 	nodePHY := cfg.Reader.PHY
 	nodePHY.ClockPPM = cfg.NodeClockPPM
+	// Payload format: the v1 single-reading sensor by default (keeping
+	// committed seeded transcripts bit-identical), the packed multi-reading
+	// sensor when a batch is requested. Both derive their sample stream
+	// from the same seed, so batch k reads the same measurements as k
+	// consecutive v1 polls.
+	var sensor node.Sensor
+	payloadLen := node.PayloadSize
+	if cfg.SensorBatch > 1 {
+		ps, err := node.NewPackedEnvSensor(cfg.Env.Temperature, cfg.NodeDepth, cfg.Seed+1, cfg.SensorBatch)
+		if err != nil {
+			return nil, err
+		}
+		sensor = ps
+		payloadLen = ps.PayloadSize()
+	} else {
+		sensor = node.NewEnvSensor(cfg.Env.Temperature, cfg.NodeDepth, cfg.Seed+1)
+	}
 	n, err := node.New(node.Config{
 		Addr:    cfg.NodeAddr,
 		Codec:   cfg.Reader.UplinkCodec,
 		PHY:     nodePHY,
 		Budget:  node.DefaultPowerBudget(),
 		Harvest: harv,
-		Sensor:  node.NewEnvSensor(cfg.Env.Temperature, cfg.NodeDepth, cfg.Seed+1),
+		Sensor:  sensor,
 	})
 	if err != nil {
 		return nil, err
 	}
-	s := &System{Reader: r, Node: n, cfg: cfg, sway: rand.New(rand.NewSource(cfg.Seed ^ 0x5f3759df))}
+	s := &System{Reader: r, Node: n, cfg: cfg, payloadLen: payloadLen,
+		sway: rand.New(rand.NewSource(cfg.Seed ^ 0x5f3759df))}
 	s.ook, err = phy.NewOOKDemodulator(cfg.Reader.PHY)
 	if err != nil {
 		return nil, err
@@ -395,11 +428,13 @@ func (s *System) RunRound() (RoundReport, error) {
 		return rep, nil
 	}
 	sp = s.trace.Stage("decode")
-	rep.Rx = s.Reader.Decode(capture, tx, node.PayloadSize)
+	rep.Rx = s.Reader.Decode(capture, tx, s.payloadLen)
 	sp.End()
 	rep.ToneSNREst = rep.Rx.SNREstimate
 	if rep.Rx.OK() {
-		_, rep.PayloadOK = node.DecodeReading(rep.Rx.Frame.Payload)
+		// Format-agnostic validation: packed payloads and the v1 layout
+		// both parse through the dispatcher, into a reused buffer.
+		s.readingsBuf, rep.PayloadOK = node.AppendDecodedReadings(s.readingsBuf[:0], rep.Rx.Frame.Payload)
 	}
 	return rep, nil
 }
@@ -532,7 +567,7 @@ func (s *System) RunRangingRound() (RangingReport, error) {
 	// Extend the canceller reference over the longer capture.
 	txRef := make([]complex128, len(capture))
 	copy(txRef, tx)
-	rep.Rx = s.Reader.Decode(capture, txRef, node.PayloadSize)
+	rep.Rx = s.Reader.Decode(capture, txRef, s.payloadLen)
 	if rep.Rx.OK() {
 		rep.EstimatedRange = s.Reader.EstimateRange(rep.Rx.AcqStart, pad, s.cfg.Env.MeanSoundSpeed())
 	}

@@ -135,6 +135,7 @@ var registry = map[string]runner{
 var optIn = map[string]runner{
 	"E11": E11Chaos,
 	"E12": E12AbstractFleet,
+	"E13": E13PackedPayloads,
 }
 
 // describe holds one-line descriptions for the whole inventory (default
@@ -157,6 +158,7 @@ var describe = map[string]string{
 	"X5":  "extension: environment-parameter sweeps (sound speed, spreading)",
 	"E11": "opt-in: chaos campaign — delivery vs fault intensity, recovery off/on",
 	"E12": "opt-in: abstract-tier 100k-node fleet on the calibrated link model",
+	"E13": "opt-in: packed payload batching — readings per frame and wire bytes per reading",
 }
 
 // Describe returns "ID  description" inventory lines: the default set in
@@ -215,7 +217,7 @@ func Run(id string, opts Options) (*Result, error) {
 		r, ok = optIn[id]
 	}
 	if !ok {
-		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v plus opt-in E11, E12)", id, IDs())
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v plus opt-in E11, E12, E13)", id, IDs())
 	}
 	var sp telemetry.Span
 	if metReg != nil {

@@ -1,0 +1,88 @@
+package gateway
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// The gateway broadcast hot path — encode readings, frame them, read
+// them back — must not allocate in steady state: the reader publishes at
+// poll rate for months, and the fan-out runs under the server mutex.
+// These pins hold the append/into forms at zero allocations per op once
+// their destination buffers are warm.
+
+func TestAppendReadingAllocs(t *testing.T) {
+	rd := testReading()
+	buf := make([]byte, 0, readingWireSize)
+	if n := testing.AllocsPerRun(200, func() {
+		buf = AppendReading(buf[:0], rd)
+	}); n != 0 {
+		t.Errorf("AppendReading allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestAppendFrameAllocs(t *testing.T) {
+	payload := AppendReading(nil, testReading())
+	buf := make([]byte, 0, MaxFrameSize)
+	if n := testing.AllocsPerRun(200, func() {
+		var err error
+		buf, err = AppendFrame(buf[:0], MsgReading, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("AppendFrame allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestBatchCodecAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	rds := make([]Reading, 16)
+	for i := range rds {
+		rds[i] = quantizedReading(rng)
+	}
+	encBuf := make([]byte, 0, MaxPayloadSize)
+	if n := testing.AllocsPerRun(200, func() {
+		var err error
+		encBuf, err = AppendReadingBatch(encBuf[:0], rds)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("AppendReadingBatch allocates %.1f/op, want 0", n)
+	}
+	payload, err := AppendReadingBatch(nil, rds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decBuf := make([]Reading, 0, len(rds))
+	if n := testing.AllocsPerRun(200, func() {
+		var err error
+		decBuf, err = DecodeReadingBatchInto(decBuf[:0], payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("DecodeReadingBatchInto allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestReadFrameBufAllocs(t *testing.T) {
+	frame, err := EncodeFrame(MsgReading, AppendReading(nil, testReading()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(frame)
+	buf := make([]byte, 0, MaxFrameSize)
+	if n := testing.AllocsPerRun(200, func() {
+		r.Reset(frame)
+		_, payload, err := ReadFrameBuf(r, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = payload[:0]
+	}); n != 0 {
+		t.Errorf("ReadFrameBuf allocates %.1f/op, want 0", n)
+	}
+}

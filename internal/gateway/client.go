@@ -10,6 +10,13 @@ import (
 // Client subscribes to a gateway's reading stream.
 type Client struct {
 	conn net.Conn
+	// payloadBuf is reused by ReadFrameBuf so the steady-state receive
+	// path allocates nothing.
+	payloadBuf []byte
+	// queue holds readings decoded from a batch frame that Next has not
+	// yet handed out; qpos indexes the next one.
+	queue []Reading
+	qpos  int
 }
 
 // DialOption customizes Dial.
@@ -17,6 +24,7 @@ type DialOption func(*dialConfig)
 
 type dialConfig struct {
 	handshakeTimeout time.Duration
+	protocol         byte
 }
 
 // WithHandshakeTimeout bounds the wait for the gateway's hello frame
@@ -30,9 +38,20 @@ func WithHandshakeTimeout(d time.Duration) DialOption {
 	}
 }
 
+// WithBatching requests the v2 batched stream: after the handshake the
+// client sends its own Hello advertising ProtocolV2, and a v2-capable
+// gateway switches this subscription to MsgReadingBatch frames. Next
+// unpacks batches transparently, so callers see the same per-reading
+// interface either way. Gateways that predate v2 ignore the upgrade
+// (they never read from the socket) and keep sending v1 frames, which
+// the client still accepts — the option is safe against any server.
+func WithBatching() DialOption {
+	return func(c *dialConfig) { c.protocol = ProtocolV2 }
+}
+
 // Dial connects to a gateway and verifies the protocol handshake.
 func Dial(ctx context.Context, addr string, opts ...DialOption) (*Client, error) {
-	cfg := dialConfig{handshakeTimeout: 5 * time.Second}
+	cfg := dialConfig{handshakeTimeout: 5 * time.Second, protocol: ProtocolV1}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -53,16 +72,35 @@ func Dial(ctx context.Context, addr string, opts ...DialOption) (*Client, error)
 		conn.Close()
 		return nil, fmt.Errorf("gateway: unexpected handshake frame type %d", t)
 	}
+	if cfg.protocol >= ProtocolV2 {
+		upgrade, err := EncodeFrame(MsgHello, []byte{cfg.protocol})
+		if err == nil {
+			_, err = conn.Write(upgrade)
+		}
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("gateway: protocol upgrade: %w", err)
+		}
+	}
 	conn.SetReadDeadline(time.Time{})
 	return c, nil
 }
 
 // Next blocks until the next reading arrives, transparently skipping
-// heartbeats. The deadline (zero = none) bounds the wait.
+// heartbeats and unpacking batch frames. The deadline (zero = none)
+// bounds the wait.
 func (c *Client) Next(deadline time.Time) (Reading, error) {
+	if c.qpos < len(c.queue) {
+		rd := c.queue[c.qpos]
+		c.qpos++
+		return rd, nil
+	}
 	c.conn.SetReadDeadline(deadline)
 	for {
-		t, payload, err := ReadFrame(c.conn)
+		t, payload, err := ReadFrameBuf(c.conn, c.payloadBuf)
+		if cap(payload) > cap(c.payloadBuf) {
+			c.payloadBuf = payload[:0]
+		}
 		if err != nil {
 			return Reading{}, err
 		}
@@ -71,6 +109,13 @@ func (c *Client) Next(deadline time.Time) (Reading, error) {
 			continue
 		case MsgReading:
 			return DecodeReading(payload)
+		case MsgReadingBatch:
+			c.queue, err = DecodeReadingBatchInto(c.queue[:0], payload)
+			if err != nil {
+				return Reading{}, err
+			}
+			c.qpos = 1
+			return c.queue[0], nil
 		default:
 			return Reading{}, fmt.Errorf("gateway: unexpected frame type %d", t)
 		}

@@ -17,6 +17,8 @@ type gwMetrics struct {
 	heartbeats  *telemetry.Counter // heartbeat frames sent
 	slowDrops   *telemetry.Counter // subscribers dropped for not draining
 	writeErrors *telemetry.Counter // socket write failures
+	upgrades    *telemetry.Counter // subscribers negotiated to protocol v2
+	batches     *telemetry.Counter // MsgReadingBatch frames encoded
 }
 
 // noopGW is handed out before Instrument is called: its nil fields make
@@ -45,6 +47,10 @@ func (s *Server) Instrument(reg *telemetry.Registry) {
 			"Subscribers disconnected because their send queue filled."),
 		writeErrors: reg.Counter("vab_gateway_write_errors_total",
 			"Socket write failures (subscriber lost mid-frame)."),
+		upgrades: reg.Counter("vab_gateway_protocol_upgrades_total",
+			"Subscribers that negotiated the v2 batched stream."),
+		batches: reg.Counter("vab_gateway_reading_batches_total",
+			"MsgReadingBatch frames encoded for v2 subscribers."),
 	}
 	s.metrics.Store(m)
 	m.subscribers.Set(float64(s.Subscribers()))

@@ -55,6 +55,11 @@ type Reading struct {
 // readingWireSize is the fixed encoding size of a Reading payload.
 const readingWireSize = 1 + 1 + 4 + 8 + 8 + 8 + 8
 
+// V1FrameBytesPerReading is the total v1 wire cost of one reading —
+// frame header plus the fixed payload — the baseline the v2 batched
+// format is measured against.
+const V1FrameBytesPerReading = frameHeaderSize + readingWireSize
+
 // Errors.
 var (
 	ErrBadMagic  = errors.New("gateway: bad frame magic")
@@ -62,49 +67,78 @@ var (
 	ErrTruncated = errors.New("gateway: truncated payload")
 )
 
-// EncodeFrame renders a wire frame: magic, type, length, payload.
-func EncodeFrame(t MsgType, payload []byte) ([]byte, error) {
+// AppendFrame appends a wire frame — magic, type, length, payload — to
+// dst. Passing dst with spare capacity makes the encode allocation-free
+// (the gateway's broadcast hot path reuses one buffer per flush).
+func AppendFrame(dst []byte, t MsgType, payload []byte) ([]byte, error) {
 	if len(payload) > MaxPayloadSize {
-		return nil, ErrOversize
+		return dst, ErrOversize
 	}
-	out := make([]byte, 0, frameHeaderSize+len(payload))
-	out = binary.BigEndian.AppendUint32(out, Magic)
+	out := binary.BigEndian.AppendUint32(dst, Magic)
 	out = append(out, byte(t))
 	out = binary.BigEndian.AppendUint32(out, uint32(len(payload)))
 	return append(out, payload...), nil
 }
 
+// EncodeFrame renders a wire frame: magic, type, length, payload.
+func EncodeFrame(t MsgType, payload []byte) ([]byte, error) {
+	return AppendFrame(make([]byte, 0, frameHeaderSize+len(payload)), t, payload)
+}
+
 // ReadFrame reads one frame from r, returning its type and payload.
 func ReadFrame(r io.Reader) (MsgType, []byte, error) {
-	var hdr [frameHeaderSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+	return ReadFrameBuf(r, nil)
+}
+
+// ReadFrameBuf reads one frame from r like ReadFrame, but reuses buf's
+// storage for the payload when it has the capacity — the steady-state
+// read path of a long-lived subscriber allocates nothing. The returned
+// payload aliases buf (grown if needed); it is valid until the next
+// call with the same buffer.
+func ReadFrameBuf(r io.Reader, buf []byte) (MsgType, []byte, error) {
+	// The header is staged in buf as well (and overwritten by the payload
+	// below, after it is parsed): a stack array would escape through the
+	// io.Reader interface and cost an allocation per frame.
+	if cap(buf) < frameHeaderSize {
+		buf = make([]byte, 0, MaxFrameSize)
+	}
+	hdr := buf[:frameHeaderSize]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, buf, err
 	}
 	if binary.BigEndian.Uint32(hdr[0:4]) != Magic {
-		return 0, nil, ErrBadMagic
+		return 0, buf, ErrBadMagic
 	}
 	t := MsgType(hdr[4])
 	n := binary.BigEndian.Uint32(hdr[5:9])
 	if n > MaxPayloadSize {
-		return 0, nil, ErrOversize
+		return 0, buf, ErrOversize
 	}
-	payload := make([]byte, n)
+	var payload []byte
+	if uint32(cap(buf)) >= n {
+		payload = buf[:n]
+	} else {
+		payload = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+		return 0, buf, fmt.Errorf("%w: %v", ErrTruncated, err)
 	}
 	return t, payload, nil
 }
 
-// EncodeReading serializes a reading payload.
-func EncodeReading(rd Reading) []byte {
-	out := make([]byte, 0, readingWireSize)
-	out = append(out, rd.NodeAddr, rd.Seq)
+// AppendReading appends the v1 fixed-layout reading payload to dst.
+func AppendReading(dst []byte, rd Reading) []byte {
+	out := append(dst, rd.NodeAddr, rd.Seq)
 	out = binary.BigEndian.AppendUint32(out, rd.Count)
 	out = binary.BigEndian.AppendUint64(out, math.Float64bits(rd.TempC))
 	out = binary.BigEndian.AppendUint64(out, math.Float64bits(rd.PressureMbar))
 	out = binary.BigEndian.AppendUint64(out, math.Float64bits(rd.SNRdB))
-	out = binary.BigEndian.AppendUint64(out, uint64(rd.Time.UnixNano()))
-	return out
+	return binary.BigEndian.AppendUint64(out, uint64(rd.Time.UnixNano()))
+}
+
+// EncodeReading serializes a reading payload (v1 layout).
+func EncodeReading(rd Reading) []byte {
+	return AppendReading(make([]byte, 0, readingWireSize), rd)
 }
 
 // DecodeReading parses a reading payload.

@@ -5,12 +5,20 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Server fans decoded readings out to TCP subscribers. Slow subscribers are
 // disconnected rather than allowed to exert backpressure on the reader (a
 // live telemetry feed must never stall the acoustic polling loop).
+//
+// Published readings can be coalesced (SetBatching): the server buffers
+// them and flushes when the batch fills or a deadline expires. At flush,
+// v1 subscribers receive one MsgReading frame per reading — exactly the
+// original stream, just bursty — while subscribers that negotiated
+// protocol v2 (by sending a Hello frame back) receive one MsgReadingBatch
+// frame per flush, cutting wire bytes per reading several-fold.
 type Server struct {
 	ln     net.Listener
 	logf   func(format string, args ...interface{})
@@ -21,6 +29,15 @@ type Server struct {
 
 	heartbeat time.Duration
 
+	// Broadcast coalescing state, guarded by mu. batchMax 1 (the
+	// default) publishes immediately, preserving v1 latency.
+	batchMax   int
+	flushAfter time.Duration
+	pending    []Reading
+	flushTimer *time.Timer
+	v1Payload  []byte // scratch for one v1 reading payload
+	v2Payload  []byte // scratch for one batch payload
+
 	// metrics is swapped atomically by Instrument; nil means telemetry is
 	// off and every recording below is a free no-op.
 	metrics metricsPtr
@@ -29,11 +46,19 @@ type Server struct {
 type subscriber struct {
 	conn net.Conn
 	ch   chan []byte // encoded frames
+	// version is the negotiated protocol: 1 until the client's Hello
+	// upgrades it (written by the per-subscriber read loop, read by the
+	// flush path).
+	version atomic.Uint32
 }
 
 // sendBuffer is the per-subscriber queue; a full queue marks the
 // subscriber as too slow.
 const sendBuffer = 64
+
+// defaultFlushAfter bounds how long a partial batch may wait once
+// batching is enabled without an explicit deadline.
+const defaultFlushAfter = 25 * time.Millisecond
 
 // NewServer starts listening on addr (e.g. "127.0.0.1:0"). The returned
 // server accepts connections until Close or ctx cancellation.
@@ -51,6 +76,7 @@ func NewServer(ctx context.Context, addr string, logf func(string, ...interface{
 		logf:      logf,
 		subs:      make(map[*subscriber]struct{}),
 		heartbeat: 5 * time.Second,
+		batchMax:  1,
 	}
 	s.wg.Add(1)
 	go s.acceptLoop(ctx)
@@ -71,6 +97,7 @@ func (s *Server) acceptLoop(ctx context.Context) {
 			return // listener closed
 		}
 		sub := &subscriber{conn: conn, ch: make(chan []byte, sendBuffer)}
+		sub.version.Store(ProtocolV1)
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -83,16 +110,36 @@ func (s *Server) acceptLoop(ctx context.Context) {
 		m := s.met()
 		m.connects.Inc()
 		m.subscribers.Set(float64(n))
-		s.wg.Add(1)
+		s.wg.Add(2)
 		go s.serve(sub)
+		go s.readLoop(sub)
+	}
+}
+
+// readLoop drains frames the subscriber sends upstream. v1 clients send
+// nothing — the loop just waits for the connection to close. A Hello
+// frame carrying a protocol version upgrades the subscriber (the v2
+// negotiation); everything else is ignored for forward compatibility.
+func (s *Server) readLoop(sub *subscriber) {
+	defer s.wg.Done()
+	for {
+		t, payload, err := ReadFrame(sub.conn)
+		if err != nil {
+			return // connection closed or garbage; serve/drop handle teardown
+		}
+		if t == MsgHello && len(payload) == 1 && payload[0] >= ProtocolV2 {
+			sub.version.Store(ProtocolV2)
+			s.met().upgrades.Inc()
+		}
 	}
 }
 
 func (s *Server) serve(sub *subscriber) {
 	defer s.wg.Done()
 	defer s.drop(sub)
-	// Handshake.
-	hello, err := EncodeFrame(MsgHello, []byte{1}) // protocol version 1
+	// Handshake: the hello payload stays the single byte [1] that v1
+	// clients require; v2-capable clients answer with their own Hello.
+	hello, err := EncodeFrame(MsgHello, []byte{ProtocolV1})
 	if err != nil {
 		return
 	}
@@ -160,37 +207,155 @@ func (s *Server) SetHeartbeat(d time.Duration) {
 	s.mu.Unlock()
 }
 
-// Publish broadcasts a reading to every subscriber. Subscribers whose
-// queues are full are disconnected. Publish never blocks.
+// SetBatching coalesces published readings: a flush happens when max
+// readings are pending or flushAfter has elapsed since the first one,
+// whichever comes first. max ≤ 1 disables coalescing (the default);
+// flushAfter ≤ 0 selects a 25 ms deadline. Readings already pending are
+// flushed before the change takes effect.
+func (s *Server) SetBatching(max int, flushAfter time.Duration) {
+	s.mu.Lock()
+	s.flushLocked()
+	if max < 1 {
+		max = 1
+	}
+	if flushAfter <= 0 {
+		flushAfter = defaultFlushAfter
+	}
+	s.batchMax = max
+	s.flushAfter = flushAfter
+	s.mu.Unlock()
+}
+
+// Publish broadcasts a reading to every subscriber, coalescing according
+// to SetBatching. Subscribers whose queues are full are disconnected.
+// Publish never blocks.
 func (s *Server) Publish(rd Reading) {
-	frame, err := EncodeFrame(MsgReading, EncodeReading(rd))
-	if err != nil {
-		s.logf("gateway: encode reading: %v", err)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
 		return
 	}
+	s.pending = append(s.pending, rd)
+	if len(s.pending) >= s.batchMax {
+		s.flushLocked()
+	} else if s.flushTimer == nil {
+		s.flushTimer = time.AfterFunc(s.flushAfter, s.deadlineFlush)
+	}
+	s.mu.Unlock()
+}
+
+// Flush forces any pending readings onto the wire immediately.
+func (s *Server) Flush() {
 	s.mu.Lock()
+	s.flushLocked()
+	s.mu.Unlock()
+}
+
+// deadlineFlush is the timer callback for a partial batch.
+func (s *Server) deadlineFlush() {
+	s.mu.Lock()
+	s.flushTimer = nil
+	s.flushLocked()
+	s.mu.Unlock()
+}
+
+// flushLocked encodes the pending readings and enqueues them to every
+// subscriber: per-reading MsgReading frames for v1 subscribers, one
+// MsgReadingBatch frame (split only if a pathological batch overflows
+// the payload bound) for v2 subscribers. Callers hold s.mu.
+func (s *Server) flushLocked() {
+	if s.flushTimer != nil {
+		s.flushTimer.Stop()
+		s.flushTimer = nil
+	}
+	if len(s.pending) == 0 {
+		return
+	}
+	needV1, needV2 := false, false
+	for sub := range s.subs {
+		if sub.version.Load() >= ProtocolV2 {
+			needV2 = true
+		} else {
+			needV1 = true
+		}
+	}
+	var v1Frames, v2Frames [][]byte
+	if needV1 {
+		v1Frames = make([][]byte, 0, len(s.pending))
+		for _, rd := range s.pending {
+			s.v1Payload = AppendReading(s.v1Payload[:0], rd)
+			frame, err := EncodeFrame(MsgReading, s.v1Payload)
+			if err != nil {
+				s.logf("gateway: encode reading: %v", err)
+				continue
+			}
+			v1Frames = append(v1Frames, frame)
+		}
+	}
+	if needV2 {
+		v2Frames = s.appendBatchFrames(nil, s.pending)
+	}
 	var tooSlow []*subscriber
 	for sub := range s.subs {
-		select {
-		case sub.ch <- frame:
-		default:
-			tooSlow = append(tooSlow, sub)
+		frames := v1Frames
+		if sub.version.Load() >= ProtocolV2 {
+			frames = v2Frames
+		}
+		for _, frame := range frames {
+			select {
+			case sub.ch <- frame:
+			default:
+				tooSlow = append(tooSlow, sub)
+			}
+			if len(tooSlow) > 0 && tooSlow[len(tooSlow)-1] == sub {
+				break
+			}
 		}
 	}
 	// Remove saturated subscribers under the same lock so a second
-	// Publish cannot double-close their channels.
+	// flush cannot double-close their channels.
 	for _, sub := range tooSlow {
 		delete(s.subs, sub)
 		close(sub.ch)
 		sub.conn.Close()
 		s.logf("gateway: dropped slow subscriber %v", sub.conn.RemoteAddr())
 	}
+	published := len(s.pending)
+	s.pending = s.pending[:0]
 	n := len(s.subs)
-	s.mu.Unlock()
 	m := s.met()
-	m.readings.Inc()
+	m.readings.Add(int64(published))
+	if needV2 {
+		m.batches.Add(int64(len(v2Frames)))
+	}
 	m.slowDrops.Add(int64(len(tooSlow)))
 	m.subscribers.Set(float64(n))
+}
+
+// appendBatchFrames encodes readings as one MsgReadingBatch frame,
+// splitting recursively in the (pathological) case the encoded block
+// exceeds the frame payload bound.
+func (s *Server) appendBatchFrames(frames [][]byte, rds []Reading) [][]byte {
+	if len(rds) == 0 {
+		return frames
+	}
+	payload, err := AppendReadingBatch(s.v2Payload[:0], rds)
+	if err == ErrOversize && len(rds) > 1 {
+		half := len(rds) / 2
+		frames = s.appendBatchFrames(frames, rds[:half])
+		return s.appendBatchFrames(frames, rds[half:])
+	}
+	if err != nil {
+		s.logf("gateway: encode reading batch: %v", err)
+		return frames
+	}
+	s.v2Payload = payload[:0]
+	frame, err := EncodeFrame(MsgReadingBatch, payload)
+	if err != nil {
+		s.logf("gateway: encode batch frame: %v", err)
+		return frames
+	}
+	return append(frames, frame)
 }
 
 // Subscribers returns the current subscriber count.
@@ -200,14 +365,15 @@ func (s *Server) Subscribers() int {
 	return len(s.subs)
 }
 
-// Close stops accepting, disconnects all subscribers and waits for the
-// server goroutines to finish.
+// Close flushes pending readings, stops accepting, disconnects all
+// subscribers and waits for the server goroutines to finish.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil
 	}
+	s.flushLocked()
 	s.closed = true
 	err := s.ln.Close()
 	for sub := range s.subs {

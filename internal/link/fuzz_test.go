@@ -14,6 +14,12 @@ func FuzzUnmarshal(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3, 4, 5, 6})
 	f.Add(bytes.Repeat([]byte{0xFF}, 80))
+	// A packed multi-reading payload (magic nibble 0xC, two readings,
+	// zero-padded — the node package's v2 sensor format) inside a frame:
+	// the link layer must carry it like any other opaque payload.
+	packed, _ := (&Frame{Type: FrameData, Addr: 3, Seq: 9,
+		Payload: []byte{0xC2, 0x05, 0xB0, 0x12, 0x94, 0x14, 0x02, 0x02, 0x02, 0, 0, 0}}).Marshal()
+	f.Add(packed)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := Unmarshal(data)
 		if err != nil {

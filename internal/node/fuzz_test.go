@@ -1,0 +1,44 @@
+package node
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzPackedDecode hammers the payload-format dispatcher with arbitrary
+// bytes: it must never panic, and any packed payload it accepts must
+// survive a re-encode/re-decode cycle with identical readings (the
+// semantic round trip — byte identity is not required because decoders
+// tolerate padding and non-canonical varints).
+func FuzzPackedDecode(f *testing.F) {
+	s := NewEnvSensor(12, 3, 1)
+	f.Add(s.Read())
+	ps, err := NewPackedEnvSensor(12, 3, 1, 6)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ps.Read())
+	f.Add([]byte{})
+	f.Add([]byte{0xC1})
+	f.Add([]byte{0xC0, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		rds, ok := DecodeReadings(p)
+		if !ok {
+			return
+		}
+		if len(rds) == 0 {
+			t.Fatal("accepted payload produced zero readings")
+		}
+		re, err := AppendPacked(nil, rds)
+		if err != nil {
+			t.Fatalf("accepted readings failed to re-encode: %v", err)
+		}
+		rds2, ok := DecodeReadings(re)
+		if !ok {
+			t.Fatal("re-encoded payload failed to decode")
+		}
+		if !reflect.DeepEqual(rds, rds2) {
+			t.Fatalf("re-decode mismatch\n got  %+v\n want %+v", rds2, rds)
+		}
+	})
+}

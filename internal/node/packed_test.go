@@ -1,0 +1,233 @@
+package node
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"vab/internal/link"
+)
+
+// gridReading draws a reading already on the wire grid (centi-°C int16,
+// whole-mbar uint16), the domain both codecs are exact over.
+func gridReading(rng *rand.Rand) Reading {
+	return Reading{
+		Count:        rng.Uint32(),
+		TempC:        float64(int16(rng.Intn(1<<16)-1<<15)) / 100,
+		PressureMbar: float64(uint16(rng.Intn(1 << 16))),
+	}
+}
+
+// TestPackedRoundTripProperty packs random grid-valued batches and
+// checks the decode recovers every reading exactly, including the
+// worst-case jumps delta coding must absorb.
+func TestPackedRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(maxPackedCount)
+		in := make([]Reading, n)
+		for i := range in {
+			in[i] = gridReading(rng)
+		}
+		p, err := AppendPacked(nil, in)
+		if err != nil {
+			t.Fatalf("trial %d: pack: %v", trial, err)
+		}
+		out, ok := DecodeReadings(p)
+		if !ok {
+			t.Fatalf("trial %d: decode rejected packed payload", trial)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("trial %d: round trip mismatch\n in  %+v\n out %+v", trial, in, out)
+		}
+	}
+}
+
+// TestPackedSequentialSize pins the typical-case economics the format
+// exists for: consecutive sensor samples cost ~3 bytes each against the
+// 8 bytes of a v1 reading.
+func TestPackedSequentialSize(t *testing.T) {
+	in := make([]Reading, 6)
+	for i := range in {
+		in[i] = Reading{
+			Count:        uint32(1000 + i),
+			TempC:        12.3 + 0.01*float64(i),
+			PressureMbar: 1234 + float64(i%2),
+		}
+	}
+	p, err := AppendPacked(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header 1 + base (2+2+2 groups) + 5 deltas ≤ 3 bytes each.
+	if len(p) > 7+5*3 {
+		t.Fatalf("sequential 6-reading payload is %d bytes, want ≤ %d", len(p), 7+5*3)
+	}
+	perReading := float64(len(p)) / 6
+	if perReading >= float64(PayloadSize)/2 {
+		t.Fatalf("packed costs %.1f B/reading, want < half of v1's %d", perReading, PayloadSize)
+	}
+}
+
+// TestPackedWorstCaseBound verifies PackedPayloadSize really is an upper
+// bound over adversarial grid-valued batches with count steps of one —
+// the contract PackedEnvSensor's fixed payload size rests on.
+func TestPackedWorstCaseBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(MaxPackedBatch)
+		in := make([]Reading, n)
+		base := rng.Uint32()
+		for i := range in {
+			in[i] = gridReading(rng)
+			in[i].Count = base + uint32(i)
+		}
+		p, err := AppendPacked(nil, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p) > PackedPayloadSize(n) {
+			t.Fatalf("trial %d: %d readings packed to %d bytes > bound %d",
+				trial, n, len(p), PackedPayloadSize(n))
+		}
+	}
+}
+
+// TestPackedFitsLinkFrame pins MaxPackedBatch against the link payload
+// bound: the largest batch fits, one more would not, and the acceptance
+// floor of 4 readings per 64-byte frame holds with room to spare.
+func TestPackedFitsLinkFrame(t *testing.T) {
+	if PackedPayloadSize(MaxPackedBatch) > link.MaxPayload {
+		t.Fatalf("MaxPackedBatch=%d needs %d bytes > link.MaxPayload=%d",
+			MaxPackedBatch, PackedPayloadSize(MaxPackedBatch), link.MaxPayload)
+	}
+	if PackedPayloadSize(MaxPackedBatch+1) <= link.MaxPayload {
+		t.Fatalf("MaxPackedBatch=%d is not maximal", MaxPackedBatch)
+	}
+	if MaxPackedBatch < 4 {
+		t.Fatalf("MaxPackedBatch=%d, acceptance floor is 4 readings/frame", MaxPackedBatch)
+	}
+}
+
+// TestDecodeReadingsDispatch checks both formats decode through the one
+// entry point: v1 payloads yield their single reading and padded packed
+// payloads yield the batch.
+func TestDecodeReadingsDispatch(t *testing.T) {
+	s := NewEnvSensor(12, 3, 42)
+	v1 := s.Read()
+	rds, ok := DecodeReadings(v1)
+	if !ok || len(rds) != 1 {
+		t.Fatalf("v1 dispatch: ok=%v n=%d", ok, len(rds))
+	}
+	want, _ := DecodeReading(v1)
+	if rds[0] != want {
+		t.Fatalf("v1 dispatch reading %+v, want %+v", rds[0], want)
+	}
+
+	ps, err := NewPackedEnvSensor(12, 3, 42, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ps.Read()
+	if len(p) != PackedPayloadSize(6) {
+		t.Fatalf("packed payload %d bytes, want fixed %d", len(p), PackedPayloadSize(6))
+	}
+	rds, ok = DecodeReadings(p)
+	if !ok || len(rds) != 6 {
+		t.Fatalf("packed dispatch: ok=%v n=%d", ok, len(rds))
+	}
+	for i := 1; i < len(rds); i++ {
+		if rds[i].Count != rds[i-1].Count+1 {
+			t.Fatalf("counts not consecutive: %d then %d", rds[i-1].Count, rds[i].Count)
+		}
+	}
+}
+
+// TestPackedSensorMatchesEnvSensor: a packed sensor and a plain sensor
+// with the same seed see the same measurement stream — batching changes
+// framing, not data.
+func TestPackedSensorMatchesEnvSensor(t *testing.T) {
+	plain := NewEnvSensor(12, 3, 99)
+	packed, err := NewPackedEnvSensor(12, 3, 99, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Reading
+	for i := 0; i < 10; i++ {
+		rd, ok := DecodeReading(plain.Read())
+		if !ok {
+			t.Fatal("plain payload failed to decode")
+		}
+		want = append(want, rd)
+	}
+	var got []Reading
+	for i := 0; i < 2; i++ {
+		rds, ok := DecodeReadings(packed.Read())
+		if !ok {
+			t.Fatal("packed payload failed to decode")
+		}
+		got = append(got, rds...)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("packed stream diverges from plain stream\n got  %+v\n want %+v", got, want)
+	}
+}
+
+// TestPackedErrors covers the rejection paths.
+func TestPackedErrors(t *testing.T) {
+	if _, err := AppendPacked(nil, nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := AppendPacked(nil, make([]Reading, maxPackedCount+1)); err == nil {
+		t.Error("oversize batch accepted")
+	}
+	if _, err := AppendPacked(nil, []Reading{{TempC: math.NaN()}}); err == nil {
+		t.Error("NaN temperature accepted")
+	}
+	if _, err := AppendPacked(nil, []Reading{{PressureMbar: math.Inf(1)}}); err == nil {
+		t.Error("infinite pressure accepted")
+	}
+	if _, err := NewPackedEnvSensor(12, 3, 1, 0); err == nil {
+		t.Error("batch 0 accepted")
+	}
+	if _, err := NewPackedEnvSensor(12, 3, 1, MaxPackedBatch+1); err == nil {
+		t.Error("batch beyond MaxPackedBatch accepted")
+	}
+	if _, ok := DecodeReadings(nil); ok {
+		t.Error("nil payload decoded")
+	}
+	if _, ok := DecodeReadings([]byte{0xC0}); ok {
+		t.Error("packed payload with zero count decoded")
+	}
+	// Truncated packed payload: magic + count 2 but stream ends mid-base.
+	if _, ok := DecodeReadings([]byte{0xC2, 0x80}); ok {
+		t.Error("truncated packed payload decoded")
+	}
+}
+
+// TestPackedDecodeAllocs pins the allocation-free steady state of the
+// payload codec pair: pack into a reused buffer, decode into a reused
+// readings slice.
+func TestPackedDecodeAllocs(t *testing.T) {
+	in := make([]Reading, 6)
+	for i := range in {
+		in[i] = Reading{Count: uint32(i), TempC: 12.3, PressureMbar: 1234}
+	}
+	buf := make([]byte, 0, 64)
+	out := make([]Reading, 0, 8)
+	allocs := testing.AllocsPerRun(200, func() {
+		p, err := AppendPacked(buf[:0], in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ok bool
+		out, ok = AppendDecodedReadings(out[:0], p)
+		if !ok || len(out) != len(in) {
+			t.Fatalf("decode: ok=%v n=%d", ok, len(out))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("pack/unpack cycle allocated %.1f times, want 0", allocs)
+	}
+}

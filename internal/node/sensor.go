@@ -36,18 +36,33 @@ func NewEnvSensor(tempC, depthM float64, seed int64) *EnvSensor {
 // PayloadSize is the wire size of one EnvSensor reading.
 const PayloadSize = 8
 
-// Read returns the next encoded reading.
-func (s *EnvSensor) Read() []byte {
+// sample draws the next measurement and returns it quantized onto the
+// wire grid (centi-°C, whole millibar) — the exact values a decoder of
+// either payload format recovers. Both the v1 single-reading payload
+// and the packed batch payload encode from these samples, so the two
+// formats quantize identically.
+func (s *EnvSensor) sample() Reading {
 	phase := 2 * math.Pi * float64(s.count) / s.DriftPeriod
 	temp := s.BaseTempC + 0.5*math.Sin(phase) + s.rng.NormFloat64()*s.NoiseStd
 	// Hydrostatic pressure: 1 bar surface + ~0.0981 bar per meter.
 	pressureMbar := 1000 + 98.1*s.BaseDepthM + 5*math.Sin(phase/3) + s.rng.NormFloat64()*s.NoiseStd*10
 
-	out := make([]byte, PayloadSize)
-	binary.BigEndian.PutUint32(out[0:4], s.count)
-	binary.BigEndian.PutUint16(out[4:6], uint16(int16(math.Round(temp*100))))
-	binary.BigEndian.PutUint16(out[6:8], uint16(math.Round(pressureMbar)))
+	rd := Reading{
+		Count:        s.count,
+		TempC:        float64(int16(math.Round(temp*100))) / 100,
+		PressureMbar: float64(uint16(math.Round(pressureMbar))),
+	}
 	s.count++
+	return rd
+}
+
+// Read returns the next encoded reading (the v1 single-reading layout).
+func (s *EnvSensor) Read() []byte {
+	rd := s.sample()
+	out := make([]byte, PayloadSize)
+	binary.BigEndian.PutUint32(out[0:4], rd.Count)
+	binary.BigEndian.PutUint16(out[4:6], uint16(int16(math.Round(rd.TempC*100))))
+	binary.BigEndian.PutUint16(out[6:8], uint16(math.Round(rd.PressureMbar)))
 	return out
 }
 
