@@ -12,6 +12,7 @@ import (
 	"context"
 	"flag"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"runtime"
@@ -21,6 +22,7 @@ import (
 	"vab/internal/channel"
 	"vab/internal/core"
 	"vab/internal/dsp"
+	"vab/internal/faults/netfaults"
 	"vab/internal/gateway"
 	"vab/internal/mac"
 	"vab/internal/ocean"
@@ -38,6 +40,12 @@ func main() {
 	packed := flag.Int("packed", 0, "node payload batch: ≤1 = v1 single-reading payloads, 2..8 = packed multi-reading payloads (readings per response frame)")
 	batch := flag.Int("batch", 1, "gateway broadcast coalescing: readings per flush (1 = publish immediately; v2 subscribers receive batch frames)")
 	flush := flag.Duration("flush", 25*time.Millisecond, "gateway flush deadline for a partial batch")
+	heartbeat := flag.Duration("heartbeat", gateway.DefaultHeartbeat, "heartbeat ping period for idle subscribers")
+	hbMiss := flag.Int("heartbeat-miss", gateway.DefaultHeartbeatMiss, "missed heartbeat periods before a silent v2 peer is evicted")
+	replay := flag.Int("replay", gateway.DefaultReplayWindow, "replay ring size backing session resume, in readings (0 disables resume)")
+	drain := flag.Duration("drain", gateway.DefaultDrainTimeout, "graceful-drain budget on shutdown: time allowed to flush pending frames and goodbyes")
+	netchaos := flag.String("netchaos", "", "wrap the listener in a seeded netfaults profile (e.g. \"chaos:0.25\", \"blips+lossy\"; empty = clean network; for resilience drills)")
+	netseed := flag.Int64("netseed", 1, "netfaults schedule seed (injections are pure functions of seed, connection and op index)")
 	flag.Parse()
 
 	var env *ocean.Environment
@@ -80,12 +88,33 @@ func main() {
 	fleet.SetWorkers(*workers)
 	fleet.Deploy(3600)
 
-	srv, err := gateway.NewServer(ctx, *listen, log.Printf)
-	if err != nil {
-		log.Fatalf("vabgw: %v", err)
+	var srv *gateway.Server
+	if *netchaos != "" {
+		prof, err := netfaults.Parse(*netchaos)
+		if err != nil {
+			log.Fatalf("vabgw: %v", err)
+		}
+		eng, err := netfaults.NewEngine(*netseed, prof)
+		if err != nil {
+			log.Fatalf("vabgw: %v", err)
+		}
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			log.Fatalf("vabgw: %v", err)
+		}
+		srv = gateway.NewServerListener(ctx, eng.Listen(ln), log.Printf)
+		log.Printf("vabgw: netfaults %q active on the listener (seed %d)", *netchaos, *netseed)
+	} else {
+		srv, err = gateway.NewServer(ctx, *listen, log.Printf)
+		if err != nil {
+			log.Fatalf("vabgw: %v", err)
+		}
 	}
 	defer srv.Close()
 	srv.SetBatching(*batch, *flush)
+	srv.SetHeartbeatPolicy(*heartbeat, *hbMiss)
+	srv.SetReplay(*replay)
+	srv.SetDrainTimeout(*drain)
 	log.Printf("vabgw: serving %d nodes (%s) on %s", *nodes, env.Name, srv.Addr())
 
 	// Telemetry is off (free no-ops everywhere) unless -metrics names an

@@ -14,6 +14,7 @@
 //	vabsim -exp e12            # abstract-tier 100k-node fleet campaign
 //	vabsim -exp e12 -nodes 1000000  # the same campaign at a million nodes
 //	vabsim -exp e13            # packed payload batching: readings/frame, wire bytes
+//	vabsim -exp e14            # network chaos: gateway delivery, resume off vs on
 //	vabsim -calibrate internal/linksim/testdata/calibration_v1.json
 package main
 
@@ -79,7 +80,7 @@ func main() {
 		for _, line := range experiments.Describe() {
 			fmt.Println(line)
 		}
-		fmt.Println("\nopt-in experiments (E11, E12, E13) run only when named: vabsim -exp e13")
+		fmt.Println("\nopt-in experiments (E11, E12, E13, E14) run only when named: vabsim -exp e14")
 		return
 	}
 

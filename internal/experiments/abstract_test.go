@@ -72,8 +72,8 @@ func TestE12OptIn(t *testing.T) {
 // order plus the opt-ins, one line each.
 func TestDescribe(t *testing.T) {
 	lines := Describe()
-	if len(lines) != len(IDs())+3 {
-		t.Fatalf("%d description lines for %d experiments + 3 opt-ins", len(lines), len(IDs()))
+	if len(lines) != len(IDs())+len(optIn) {
+		t.Fatalf("%d description lines for %d experiments + %d opt-ins", len(lines), len(IDs()), len(optIn))
 	}
 	for i, id := range IDs() {
 		if !strings.HasPrefix(lines[i], id+" ") {
@@ -81,7 +81,7 @@ func TestDescribe(t *testing.T) {
 		}
 	}
 	joined := strings.Join(lines, "\n")
-	for _, want := range []string{"E11", "E12", "E13", "abstract-tier"} {
+	for _, want := range []string{"E11", "E12", "E13", "E14", "abstract-tier"} {
 		if !strings.Contains(joined, want) {
 			t.Fatalf("inventory missing %q:\n%s", want, joined)
 		}

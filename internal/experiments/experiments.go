@@ -136,6 +136,7 @@ var optIn = map[string]runner{
 	"E11": E11Chaos,
 	"E12": E12AbstractFleet,
 	"E13": E13PackedPayloads,
+	"E14": E14NetChaos,
 }
 
 // describe holds one-line descriptions for the whole inventory (default
@@ -159,6 +160,7 @@ var describe = map[string]string{
 	"E11": "opt-in: chaos campaign — delivery vs fault intensity, recovery off/on",
 	"E12": "opt-in: abstract-tier 100k-node fleet on the calibrated link model",
 	"E13": "opt-in: packed payload batching — readings per frame and wire bytes per reading",
+	"E14": "opt-in: network chaos — gateway delivery vs chaos intensity, session resume off/on",
 }
 
 // Describe returns "ID  description" inventory lines: the default set in
@@ -217,7 +219,7 @@ func Run(id string, opts Options) (*Result, error) {
 		r, ok = optIn[id]
 	}
 	if !ok {
-		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v plus opt-in E11, E12, E13)", id, IDs())
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v plus opt-in E11, E12, E13, E14)", id, IDs())
 	}
 	var sp telemetry.Span
 	if metReg != nil {

@@ -1,0 +1,156 @@
+package netfaults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Canonical profiles. Magnitudes are chosen so that intensity 1 visibly
+// hurts a gateway session within a few hundred operations while intensity
+// 0.25 is survivable with resume on — the dynamic range the E14 campaign
+// sweeps.
+var presets = []struct {
+	name string
+	help string
+	prof Profile
+}{
+	{
+		name: "blips",
+		help: "connection blips: per-op drop probability, clean bytes otherwise",
+		prof: Profile{Name: "blips", DropPerOp: 0.02},
+	},
+	{
+		name: "congested",
+		help: "congested backhaul: per-op latency plus occasional long stalls",
+		prof: Profile{Name: "congested", LatencyMs: 2, StallPerOp: 0.01, StallMs: 150},
+	},
+	{
+		name: "lossy",
+		help: "lossy link: bit corruption and partial writes that tear frames",
+		prof: Profile{Name: "lossy", CorruptPerOp: 0.01, PartialPerOp: 0.005},
+	},
+}
+
+// chaosComponents lists the presets the composite "chaos" profile layers
+// together.
+var chaosComponents = []string{"blips", "congested", "lossy"}
+
+// Presets returns "name — help" inventory lines, sorted by name.
+func Presets() []string {
+	out := make([]string, 0, len(presets)+1)
+	for _, p := range presets {
+		out = append(out, fmt.Sprintf("%-10s %s", p.name, p.help))
+	}
+	out = append(out, fmt.Sprintf("%-10s every network fault class layered together (%s)",
+		"chaos", strings.Join(chaosComponents, "+")))
+	sort.Strings(out)
+	return out
+}
+
+// merge layers b onto a: probabilities add (clamped at 1), magnitudes take
+// the max — layering two storms never calms either.
+func merge(a, b Profile) Profile {
+	addClamp := func(x, y float64) float64 {
+		v := x + y
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	maxOf := func(x, y float64) float64 {
+		if x > y {
+			return x
+		}
+		return y
+	}
+	return Profile{
+		Name:         a.Name + "+" + b.Name,
+		DropPerOp:    addClamp(a.DropPerOp, b.DropPerOp),
+		StallPerOp:   addClamp(a.StallPerOp, b.StallPerOp),
+		StallMs:      maxOf(a.StallMs, b.StallMs),
+		LatencyMs:    maxOf(a.LatencyMs, b.LatencyMs),
+		PartialPerOp: addClamp(a.PartialPerOp, b.PartialPerOp),
+		CorruptPerOp: addClamp(a.CorruptPerOp, b.CorruptPerOp),
+	}
+}
+
+// Parse builds a Profile from a spec string: preset names joined by '+',
+// each optionally scaled by ":<intensity>" in [0, 1] (default 1); the
+// composite "chaos" expands to every class. Mirrors faults.Parse:
+//
+//	blips
+//	blips:0.5+lossy
+//	chaos:0.25
+//
+// An empty spec returns the inject-nothing profile.
+func Parse(spec string) (Profile, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return Profile{Name: "none"}, nil
+	}
+	var out Profile
+	first := true
+	for _, tok := range strings.Split(spec, "+") {
+		name, intensity := tok, 1.0
+		if i := strings.IndexByte(tok, ':'); i >= 0 {
+			name = tok[:i]
+			v, err := strconv.ParseFloat(tok[i+1:], 64)
+			if err != nil || v < 0 || v > 1 {
+				return Profile{}, fmt.Errorf("netfaults: bad intensity %q in %q", tok[i+1:], spec)
+			}
+			intensity = v
+		}
+		name = strings.TrimSpace(strings.ToLower(name))
+		var prof Profile
+		switch {
+		case name == "chaos":
+			for _, comp := range chaosComponents {
+				p, _ := lookup(comp)
+				if prof.Name == "" {
+					prof = p
+				} else {
+					prof = merge(prof, p)
+				}
+			}
+			prof.Name = "chaos"
+		default:
+			p, ok := lookup(name)
+			if !ok {
+				return Profile{}, fmt.Errorf("netfaults: unknown preset %q (have blips, congested, lossy, chaos)", name)
+			}
+			prof = p
+		}
+		if intensity != 1 {
+			prof = prof.Scale(intensity)
+		}
+		if first {
+			out, first = prof, false
+		} else {
+			out = merge(out, prof)
+		}
+	}
+	out.Name = spec
+	return out, nil
+}
+
+func lookup(name string) (Profile, bool) {
+	for _, p := range presets {
+		if p.name == name {
+			return p.prof, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Chaos returns the composite profile at the given intensity — the E14
+// campaign's axis.
+func Chaos(intensity float64) Profile {
+	p, _ := Parse("chaos")
+	if intensity != 1 {
+		p = p.Scale(intensity)
+	}
+	p.Name = fmt.Sprintf("chaos:%g", intensity)
+	return p
+}

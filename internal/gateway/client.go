@@ -2,10 +2,16 @@ package gateway
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"time"
 )
+
+// ErrServerClosing is returned by Next when the gateway announces a
+// graceful shutdown (MsgGoodbye): the stream is complete up to this
+// point, and reconnecting with backoff is the right response.
+var ErrServerClosing = errors.New("gateway: server closing")
 
 // Client subscribes to a gateway's reading stream.
 type Client struct {
@@ -17,6 +23,26 @@ type Client struct {
 	// yet handed out; qpos indexes the next one.
 	queue []Reading
 	qpos  int
+	// queueSeq is the stream sequence of queue[0] when the current batch
+	// came from a MsgSeqBatch frame, 0 for unsequenced batches.
+	queueSeq uint64
+	// lastSeq is the stream sequence of the last reading Next returned
+	// from a sequenced frame (0 before any).
+	lastSeq uint64
+	// pong caches the encoded MsgPong frame when this session answers
+	// heartbeats (nil = stay silent, the v1 behaviour).
+	pong []byte
+	// ack* record the MsgResumeAck bounds once it arrives.
+	ackReplayFrom uint64
+	ackLiveNext   uint64
+	ackSeen       bool
+	// awaitingAck suppresses unsequenced reading frames on a resume
+	// session until the MsgResumeAck arrives: readings the server fanned
+	// out before processing MsgResume are re-delivered by the replay, so
+	// passing them through would duplicate. A heartbeat before the ack
+	// means the gateway predates resume (it would have answered first) —
+	// suppression lifts and the session falls back to the plain stream.
+	awaitingAck bool
 }
 
 // DialOption customizes Dial.
@@ -25,6 +51,8 @@ type DialOption func(*dialConfig)
 type dialConfig struct {
 	handshakeTimeout time.Duration
 	protocol         byte
+	resume           bool
+	resumeLast       uint64
 }
 
 // WithHandshakeTimeout bounds the wait for the gateway's hello frame
@@ -47,6 +75,21 @@ func WithHandshakeTimeout(d time.Duration) DialOption {
 // the client still accepts — the option is safe against any server.
 func WithBatching() DialOption {
 	return func(c *dialConfig) { c.protocol = ProtocolV2 }
+}
+
+// WithResume requests sequenced delivery with gap replay (implies
+// WithBatching): after the upgrade the client sends MsgResume carrying
+// the last stream sequence it saw (0 on a fresh session), and a
+// resume-capable gateway replays the missed window as MsgSeqBatch frames
+// before the live stream continues. Gateways that predate resume ignore
+// the frame and the session falls back to the plain v2 stream — the
+// option is safe against any server.
+func WithResume(lastSeq uint64) DialOption {
+	return func(c *dialConfig) {
+		c.protocol = ProtocolV2
+		c.resume = true
+		c.resumeLast = lastSeq
+	}
 }
 
 // Dial connects to a gateway and verifies the protocol handshake.
@@ -81,17 +124,35 @@ func Dial(ctx context.Context, addr string, opts ...DialOption) (*Client, error)
 			conn.Close()
 			return nil, fmt.Errorf("gateway: protocol upgrade: %w", err)
 		}
+		// A v2 session answers heartbeats, making it liveness-trackable.
+		c.pong, _ = EncodeFrame(MsgPong, nil)
+	}
+	if cfg.resume {
+		frame, err := EncodeFrame(MsgResume, AppendResume(nil, cfg.resumeLast))
+		if err == nil {
+			_, err = conn.Write(frame)
+		}
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("gateway: resume request: %w", err)
+		}
+		c.lastSeq = cfg.resumeLast
+		c.awaitingAck = true
 	}
 	conn.SetReadDeadline(time.Time{})
 	return c, nil
 }
 
 // Next blocks until the next reading arrives, transparently skipping
-// heartbeats and unpacking batch frames. The deadline (zero = none)
-// bounds the wait.
+// heartbeats (answering them with pongs on v2 sessions) and unpacking
+// batch frames. The deadline (zero = none) bounds the wait. A graceful
+// server shutdown surfaces as ErrServerClosing.
 func (c *Client) Next(deadline time.Time) (Reading, error) {
 	if c.qpos < len(c.queue) {
 		rd := c.queue[c.qpos]
+		if c.queueSeq != 0 {
+			c.lastSeq = c.queueSeq + uint64(c.qpos)
+		}
 		c.qpos++
 		return rd, nil
 	}
@@ -106,20 +167,74 @@ func (c *Client) Next(deadline time.Time) (Reading, error) {
 		}
 		switch t {
 		case MsgHeartbeat:
+			if c.pong != nil {
+				// Best-effort: a failed pong will surface as a read error
+				// on the next frame anyway.
+				c.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+				c.conn.Write(c.pong)
+			}
+			// A resume-capable gateway acks before its first heartbeat
+			// (it processes our MsgResume within the handshake exchange);
+			// a heartbeat first means no ack is coming — fall back.
+			c.awaitingAck = false
 			continue
 		case MsgReading:
+			if c.awaitingAck {
+				continue // will arrive again in the replay
+			}
+			c.queueSeq = 0
 			return DecodeReading(payload)
 		case MsgReadingBatch:
+			if c.awaitingAck {
+				continue // will arrive again in the replay
+			}
 			c.queue, err = DecodeReadingBatchInto(c.queue[:0], payload)
 			if err != nil {
 				return Reading{}, err
 			}
+			c.queueSeq = 0
 			c.qpos = 1
 			return c.queue[0], nil
+		case MsgSeqBatch:
+			c.awaitingAck = false
+			var firstSeq uint64
+			c.queue, firstSeq, err = DecodeSeqBatchInto(c.queue[:0], payload)
+			if err != nil {
+				return Reading{}, err
+			}
+			c.queueSeq = firstSeq
+			c.lastSeq = firstSeq
+			c.qpos = 1
+			return c.queue[0], nil
+		case MsgResumeAck:
+			c.ackReplayFrom, c.ackLiveNext, err = DecodeResumeAck(payload)
+			if err != nil {
+				return Reading{}, err
+			}
+			c.ackSeen = true
+			c.awaitingAck = false
+			continue
+		case MsgGoodbye:
+			return Reading{}, ErrServerClosing
 		default:
 			return Reading{}, fmt.Errorf("gateway: unexpected frame type %d", t)
 		}
 	}
+}
+
+// LastSeq returns the stream sequence of the last reading Next returned
+// from a sequenced frame (0 before any) — the value to pass to
+// WithResume on the next dial.
+func (c *Client) LastSeq() uint64 { return c.lastSeq }
+
+// ResumeWindow reports the MsgResumeAck bounds once the gateway has
+// acknowledged a resume: replayFrom is the first sequence the server
+// delivers, liveNext the next live sequence at ack time. ok is false
+// until the ack arrives (or forever, against a server without resume).
+// replayFrom > lastSeq+1 means the gap [lastSeq+1, replayFrom) aged out
+// of the server's ring and is unrecoverable.
+func (c *Client) ResumeWindow() (replayFrom, liveNext uint64, ok bool) {
+	return c.ackReplayFrom, c.ackLiveNext, c.ackSeen
 }
 
 // Close terminates the subscription.

@@ -19,15 +19,41 @@ import (
 // original stream, just bursty — while subscribers that negotiated
 // protocol v2 (by sending a Hello frame back) receive one MsgReadingBatch
 // frame per flush, cutting wire bytes per reading several-fold.
+//
+// Resilience (see resume.go and DESIGN.md "Gateway resilience contract"):
+// every reading gets a stream sequence and enters a replay ring, so a
+// subscriber that sent MsgResume recovers its reconnect gap as sequenced
+// MsgSeqBatch frames; heartbeats double as dead-peer probes (subscribers
+// that have ponged once are dropped when pongs stop); Close drains
+// gracefully — flush, MsgGoodbye, bounded writes — instead of snapping
+// every socket mid-frame.
 type Server struct {
-	ln     net.Listener
-	logf   func(format string, args ...interface{})
-	mu     sync.Mutex
-	subs   map[*subscriber]struct{}
+	ln   net.Listener
+	logf func(format string, args ...interface{})
+	mu   sync.Mutex
+	subs map[*subscriber]struct{}
+
 	closed bool
 	wg     sync.WaitGroup
 
-	heartbeat time.Duration
+	// Heartbeat policy: period between MsgHeartbeat frames per subscriber,
+	// and how many periods of inbound silence a pong-capable subscriber
+	// survives before it is declared dead. Guarded by mu.
+	hbPeriod time.Duration
+	hbMiss   int
+
+	// drainTimeout bounds Close's graceful drain; drainUntil (atomic
+	// UnixNano, 0 = not draining) caps every socket write once draining.
+	drainTimeout time.Duration
+	drainUntil   atomic.Int64
+
+	// Stream sequencing and replay, guarded by mu. nextSeq is the sequence
+	// the next published reading will carry; pendingFirst is the sequence
+	// of pending[0]. ring retains the replay window (nil = resume serves
+	// live-only).
+	nextSeq      uint64
+	pendingFirst uint64
+	ring         *ReplayRing
 
 	// Broadcast coalescing state, guarded by mu. batchMax 1 (the
 	// default) publishes immediately, preserving v1 latency.
@@ -35,8 +61,9 @@ type Server struct {
 	flushAfter time.Duration
 	pending    []Reading
 	flushTimer *time.Timer
-	v1Payload  []byte // scratch for one v1 reading payload
-	v2Payload  []byte // scratch for one batch payload
+	v1Payload  []byte    // scratch for one v1 reading payload
+	v2Payload  []byte    // scratch for one batch payload
+	replayBuf  []Reading // scratch for ring replays
 
 	// metrics is swapped atomically by Instrument; nil means telemetry is
 	// off and every recording below is a free no-op.
@@ -50,6 +77,14 @@ type subscriber struct {
 	// upgrades it (written by the per-subscriber read loop, read by the
 	// flush path).
 	version atomic.Uint32
+	// sequenced flips when the client sends MsgResume: from then on the
+	// flush path sends MsgSeqBatch frames to this subscriber.
+	sequenced atomic.Bool
+	// pongable flips on the first inbound pong/hello: only subscribers
+	// that have proven they answer are liveness-judged by silence.
+	pongable atomic.Bool
+	// lastSeen is the UnixNano of the last inbound frame.
+	lastSeen atomic.Int64
 }
 
 // sendBuffer is the per-subscriber queue; a full queue marks the
@@ -60,6 +95,19 @@ const sendBuffer = 64
 // batching is enabled without an explicit deadline.
 const defaultFlushAfter = 25 * time.Millisecond
 
+// Defaults for the resilience knobs.
+const (
+	// DefaultHeartbeat is the per-subscriber heartbeat period.
+	DefaultHeartbeat = 5 * time.Second
+	// DefaultHeartbeatMiss is how many silent heartbeat periods a
+	// pong-capable subscriber survives.
+	DefaultHeartbeatMiss = 3
+	// DefaultReplayWindow is the replay ring size (readings).
+	DefaultReplayWindow = 1024
+	// DefaultDrainTimeout bounds the graceful drain in Close.
+	DefaultDrainTimeout = 2 * time.Second
+)
+
 // NewServer starts listening on addr (e.g. "127.0.0.1:0"). The returned
 // server accepts connections until Close or ctx cancellation.
 func NewServer(ctx context.Context, addr string, logf func(string, ...interface{})) (*Server, error) {
@@ -68,19 +116,31 @@ func NewServer(ctx context.Context, addr string, logf func(string, ...interface{
 	if err != nil {
 		return nil, err
 	}
+	return NewServerListener(ctx, ln, logf), nil
+}
+
+// NewServerListener serves an existing listener — the hook load and chaos
+// harnesses use to interpose a netfaults.Listener (or any wrapper)
+// between the gateway and its subscribers. The server owns ln from here
+// on and closes it on Close or ctx cancellation.
+func NewServerListener(ctx context.Context, ln net.Listener, logf func(string, ...interface{})) *Server {
 	if logf == nil {
 		logf = log.Printf
 	}
 	s := &Server{
-		ln:        ln,
-		logf:      logf,
-		subs:      make(map[*subscriber]struct{}),
-		heartbeat: 5 * time.Second,
-		batchMax:  1,
+		ln:           ln,
+		logf:         logf,
+		subs:         make(map[*subscriber]struct{}),
+		hbPeriod:     DefaultHeartbeat,
+		hbMiss:       DefaultHeartbeatMiss,
+		drainTimeout: DefaultDrainTimeout,
+		nextSeq:      1,
+		ring:         NewReplayRing(DefaultReplayWindow),
+		batchMax:     1,
 	}
 	s.wg.Add(1)
 	go s.acceptLoop(ctx)
-	return s, nil
+	return s
 }
 
 // Addr returns the bound listen address.
@@ -98,6 +158,7 @@ func (s *Server) acceptLoop(ctx context.Context) {
 		}
 		sub := &subscriber{conn: conn, ch: make(chan []byte, sendBuffer)}
 		sub.version.Store(ProtocolV1)
+		sub.lastSeen.Store(time.Now().UnixNano())
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -106,11 +167,15 @@ func (s *Server) acceptLoop(ctx context.Context) {
 		}
 		s.subs[sub] = struct{}{}
 		n := len(s.subs)
+		// The serve/readLoop goroutines join the WaitGroup before the
+		// lock is released: Close observes either no subscriber (conn
+		// closed above) or a fully accounted one — it cannot slip between
+		// registration and wg.Add and leak a goroutine.
+		s.wg.Add(2)
 		s.mu.Unlock()
 		m := s.met()
 		m.connects.Inc()
 		m.subscribers.Set(float64(n))
-		s.wg.Add(2)
 		go s.serve(sub)
 		go s.readLoop(sub)
 	}
@@ -119,19 +184,106 @@ func (s *Server) acceptLoop(ctx context.Context) {
 // readLoop drains frames the subscriber sends upstream. v1 clients send
 // nothing — the loop just waits for the connection to close. A Hello
 // frame carrying a protocol version upgrades the subscriber (the v2
-// negotiation); everything else is ignored for forward compatibility.
+// negotiation); MsgPong refreshes liveness; MsgResume switches the
+// subscriber to sequenced delivery and replays its gap. Everything else
+// is ignored for forward compatibility.
 func (s *Server) readLoop(sub *subscriber) {
 	defer s.wg.Done()
+	var buf []byte
 	for {
-		t, payload, err := ReadFrame(sub.conn)
+		t, payload, err := ReadFrameBuf(sub.conn, buf)
 		if err != nil {
-			return // connection closed or garbage; serve/drop handle teardown
+			// The peer hung up (or sent garbage): tear the subscriber down
+			// now rather than waiting for the next write to fail. drop is
+			// idempotent, so racing serve's own teardown is fine.
+			s.drop(sub)
+			return
 		}
-		if t == MsgHello && len(payload) == 1 && payload[0] >= ProtocolV2 {
-			sub.version.Store(ProtocolV2)
-			s.met().upgrades.Inc()
+		if cap(payload) > cap(buf) {
+			buf = payload[:0]
+		}
+		sub.lastSeen.Store(time.Now().UnixNano())
+		switch t {
+		case MsgHello:
+			if len(payload) == 1 && payload[0] >= ProtocolV2 {
+				sub.version.Store(ProtocolV2)
+				sub.pongable.Store(true)
+				s.met().upgrades.Inc()
+			}
+		case MsgPong:
+			sub.pongable.Store(true)
+		case MsgResume:
+			lastSeq, err := DecodeResume(payload)
+			if err != nil {
+				continue
+			}
+			s.handleResume(sub, lastSeq)
 		}
 	}
+}
+
+// handleResume switches sub to sequenced delivery and enqueues the
+// resume ack plus the replayable gap, all under the broadcast lock so
+// replayed sequences land strictly before any subsequent live flush.
+func (s *Server) handleResume(sub *subscriber, lastSeq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if _, ok := s.subs[sub]; !ok {
+		return
+	}
+	sub.version.Store(ProtocolV2)
+	sub.pongable.Store(true)
+	sub.sequenced.Store(true)
+
+	// Replay covers everything up to (not including) the pending batch:
+	// pending readings reach this subscriber through the ordinary flush,
+	// already sequenced, so replaying them too would duplicate.
+	replayEnd := s.nextSeq - uint64(len(s.pending)) // == pendingFirst when pending
+	s.replayBuf = s.replayBuf[:0]
+	var firstSeq uint64
+	if s.ring != nil {
+		s.replayBuf, firstSeq = s.ring.Since(lastSeq, s.replayBuf)
+		// Trim pending-tail overlap (ring already holds pending readings).
+		if firstSeq > 0 && firstSeq+uint64(len(s.replayBuf)) > replayEnd {
+			keep := int(replayEnd - firstSeq)
+			if keep < 0 {
+				keep = 0
+			}
+			s.replayBuf = s.replayBuf[:keep]
+		}
+		if len(s.replayBuf) == 0 {
+			firstSeq = 0
+		}
+	}
+	replayFrom := replayEnd
+	if firstSeq > 0 {
+		replayFrom = firstSeq
+	}
+	ack := AppendResumeAck(nil, replayFrom, replayEnd)
+	frame, err := EncodeFrame(MsgResumeAck, ack)
+	if err != nil {
+		return
+	}
+	frames := [][]byte{frame}
+	if len(s.replayBuf) > 0 {
+		frames = s.appendSeqBatchFrames(frames, s.replayBuf, firstSeq)
+	}
+	for _, f := range frames {
+		select {
+		case sub.ch <- f:
+		default:
+			// The replay alone saturated the queue: the subscriber cannot
+			// keep up; evict it like any other slow subscriber.
+			s.evictLocked(sub, "resume overflow")
+			return
+		}
+	}
+	m := s.met()
+	m.resumes.Inc()
+	m.replayed.Add(int64(len(s.replayBuf)))
 }
 
 func (s *Server) serve(sub *subscriber) {
@@ -147,7 +299,8 @@ func (s *Server) serve(sub *subscriber) {
 		return
 	}
 	s.mu.Lock()
-	period := s.heartbeat
+	period := s.hbPeriod
+	miss := s.hbMiss
 	s.mu.Unlock()
 	hb := time.NewTicker(period)
 	defer hb.Stop()
@@ -161,6 +314,18 @@ func (s *Server) serve(sub *subscriber) {
 				return
 			}
 		case <-hb.C:
+			// Dead-peer check first: a subscriber that has proven it pongs
+			// and then went silent for miss periods is gone — its TCP
+			// window may take minutes to fill, but the deployment needs
+			// the slot (and the eviction metric) now.
+			if sub.pongable.Load() {
+				idle := time.Since(time.Unix(0, sub.lastSeen.Load()))
+				if idle > time.Duration(miss)*period {
+					s.met().hbDrops.Inc()
+					s.logf("gateway: dropping dead peer %v (silent %v)", sub.conn.RemoteAddr(), idle.Round(time.Millisecond))
+					return
+				}
+			}
 			frame, err := EncodeFrame(MsgHeartbeat, nil)
 			if err != nil {
 				return
@@ -174,7 +339,13 @@ func (s *Server) serve(sub *subscriber) {
 }
 
 func (s *Server) write(sub *subscriber, frame []byte) error {
-	sub.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	deadline := time.Now().Add(5 * time.Second)
+	if until := s.drainUntil.Load(); until != 0 {
+		if d := time.Unix(0, until); d.Before(deadline) {
+			deadline = d
+		}
+	}
+	sub.conn.SetWriteDeadline(deadline)
 	_, err := sub.conn.Write(frame)
 	m := s.met()
 	if err != nil {
@@ -197,12 +368,69 @@ func (s *Server) drop(sub *subscriber) {
 	s.met().subscribers.Set(float64(n))
 }
 
+// evictLocked removes sub from the fan-out under s.mu (the caller holds
+// it), closing its queue and socket; the serve goroutine unwinds through
+// drop, which finds the map entry already gone.
+func (s *Server) evictLocked(sub *subscriber, why string) {
+	if _, ok := s.subs[sub]; !ok {
+		return
+	}
+	delete(s.subs, sub)
+	close(sub.ch)
+	sub.conn.Close()
+	s.logf("gateway: dropped subscriber %v (%s)", sub.conn.RemoteAddr(), why)
+}
+
 // SetHeartbeat changes the idle heartbeat period for subscribers that
 // connect afterwards (existing subscribers keep their period).
 func (s *Server) SetHeartbeat(d time.Duration) {
 	s.mu.Lock()
 	if d > 0 {
-		s.heartbeat = d
+		s.hbPeriod = d
+	}
+	s.mu.Unlock()
+}
+
+// SetHeartbeatPolicy sets both the heartbeat period and the number of
+// silent periods after which a pong-capable subscriber is declared dead.
+// Applies to subscribers that connect afterwards.
+func (s *Server) SetHeartbeatPolicy(period time.Duration, miss int) {
+	s.mu.Lock()
+	if period > 0 {
+		s.hbPeriod = period
+	}
+	if miss > 0 {
+		s.hbMiss = miss
+	}
+	s.mu.Unlock()
+}
+
+// SetReplay resizes the replay ring to keep the last n readings (0
+// disables replay: resumes still sequence, but recover nothing). The
+// ring restarts empty at the current sequence point.
+func (s *Server) SetReplay(n int) {
+	s.mu.Lock()
+	if n > 0 {
+		r := NewReplayRing(n)
+		r.next = s.nextSeq - uint64(len(s.pending))
+		// Re-seed with the pending readings so an immediate resume does
+		// not miss them if a flush intervenes.
+		for i, rd := range s.pending {
+			r.Append(s.pendingFirst+uint64(i), rd)
+		}
+		s.ring = r
+	} else {
+		s.ring = nil
+	}
+	s.mu.Unlock()
+}
+
+// SetDrainTimeout bounds Close's graceful drain (how long pending frames
+// and the goodbye may take to reach slow subscribers).
+func (s *Server) SetDrainTimeout(d time.Duration) {
+	s.mu.Lock()
+	if d > 0 {
+		s.drainTimeout = d
 	}
 	s.mu.Unlock()
 }
@@ -227,14 +455,22 @@ func (s *Server) SetBatching(max int, flushAfter time.Duration) {
 }
 
 // Publish broadcasts a reading to every subscriber, coalescing according
-// to SetBatching. Subscribers whose queues are full are disconnected.
-// Publish never blocks.
+// to SetBatching. The reading is assigned the next stream sequence and
+// retained in the replay ring. Subscribers whose queues are full are
+// disconnected. Publish never blocks.
 func (s *Server) Publish(rd Reading) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return
 	}
+	if len(s.pending) == 0 {
+		s.pendingFirst = s.nextSeq
+	}
+	if s.ring != nil {
+		s.ring.Append(s.nextSeq, rd)
+	}
+	s.nextSeq++
 	s.pending = append(s.pending, rd)
 	if len(s.pending) >= s.batchMax {
 		s.flushLocked()
@@ -242,6 +478,14 @@ func (s *Server) Publish(rd Reading) {
 		s.flushTimer = time.AfterFunc(s.flushAfter, s.deadlineFlush)
 	}
 	s.mu.Unlock()
+}
+
+// NextSeq returns the stream sequence the next published reading will
+// carry (1 on a fresh server).
+func (s *Server) NextSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextSeq
 }
 
 // Flush forces any pending readings onto the wire immediately.
@@ -262,7 +506,8 @@ func (s *Server) deadlineFlush() {
 // flushLocked encodes the pending readings and enqueues them to every
 // subscriber: per-reading MsgReading frames for v1 subscribers, one
 // MsgReadingBatch frame (split only if a pathological batch overflows
-// the payload bound) for v2 subscribers. Callers hold s.mu.
+// the payload bound) for v2 subscribers, and sequence-prefixed
+// MsgSeqBatch frames for resumed subscribers. Callers hold s.mu.
 func (s *Server) flushLocked() {
 	if s.flushTimer != nil {
 		s.flushTimer.Stop()
@@ -271,15 +516,18 @@ func (s *Server) flushLocked() {
 	if len(s.pending) == 0 {
 		return
 	}
-	needV1, needV2 := false, false
+	needV1, needV2, needSeq := false, false, false
 	for sub := range s.subs {
-		if sub.version.Load() >= ProtocolV2 {
+		switch {
+		case sub.sequenced.Load():
+			needSeq = true
+		case sub.version.Load() >= ProtocolV2:
 			needV2 = true
-		} else {
+		default:
 			needV1 = true
 		}
 	}
-	var v1Frames, v2Frames [][]byte
+	var v1Frames, v2Frames, seqFrames [][]byte
 	if needV1 {
 		v1Frames = make([][]byte, 0, len(s.pending))
 		for _, rd := range s.pending {
@@ -295,10 +543,16 @@ func (s *Server) flushLocked() {
 	if needV2 {
 		v2Frames = s.appendBatchFrames(nil, s.pending)
 	}
+	if needSeq {
+		seqFrames = s.appendSeqBatchFrames(nil, s.pending, s.pendingFirst)
+	}
 	var tooSlow []*subscriber
 	for sub := range s.subs {
 		frames := v1Frames
-		if sub.version.Load() >= ProtocolV2 {
+		switch {
+		case sub.sequenced.Load():
+			frames = seqFrames
+		case sub.version.Load() >= ProtocolV2:
 			frames = v2Frames
 		}
 		for _, frame := range frames {
@@ -327,6 +581,9 @@ func (s *Server) flushLocked() {
 	m.readings.Add(int64(published))
 	if needV2 {
 		m.batches.Add(int64(len(v2Frames)))
+	}
+	if needSeq {
+		m.batches.Add(int64(len(seqFrames)))
 	}
 	m.slowDrops.Add(int64(len(tooSlow)))
 	m.subscribers.Set(float64(n))
@@ -358,6 +615,31 @@ func (s *Server) appendBatchFrames(frames [][]byte, rds []Reading) [][]byte {
 	return append(frames, frame)
 }
 
+// appendSeqBatchFrames encodes readings as MsgSeqBatch frames starting at
+// firstSeq, splitting recursively on overflow like appendBatchFrames.
+func (s *Server) appendSeqBatchFrames(frames [][]byte, rds []Reading, firstSeq uint64) [][]byte {
+	if len(rds) == 0 {
+		return frames
+	}
+	payload, err := AppendSeqBatch(s.v2Payload[:0], firstSeq, rds)
+	if err == ErrOversize && len(rds) > 1 {
+		half := len(rds) / 2
+		frames = s.appendSeqBatchFrames(frames, rds[:half], firstSeq)
+		return s.appendSeqBatchFrames(frames, rds[half:], firstSeq+uint64(half))
+	}
+	if err != nil {
+		s.logf("gateway: encode seq batch: %v", err)
+		return frames
+	}
+	s.v2Payload = payload[:0]
+	frame, err := EncodeFrame(MsgSeqBatch, payload)
+	if err != nil {
+		s.logf("gateway: encode seq batch frame: %v", err)
+		return frames
+	}
+	return append(frames, frame)
+}
+
 // Subscribers returns the current subscriber count.
 func (s *Server) Subscribers() int {
 	s.mu.Lock()
@@ -365,8 +647,11 @@ func (s *Server) Subscribers() int {
 	return len(s.subs)
 }
 
-// Close flushes pending readings, stops accepting, disconnects all
-// subscribers and waits for the server goroutines to finish.
+// Close drains gracefully: flush pending readings, stop accepting,
+// enqueue a MsgGoodbye to every subscriber, bound all remaining socket
+// writes by the drain timeout, and wait for the server goroutines to
+// finish. Subscribers see the tail of the stream plus the goodbye rather
+// than a mid-frame reset.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -376,10 +661,20 @@ func (s *Server) Close() error {
 	s.flushLocked()
 	s.closed = true
 	err := s.ln.Close()
+	s.drainUntil.Store(time.Now().Add(s.drainTimeout).UnixNano())
+	goodbye, gerr := EncodeFrame(MsgGoodbye, nil)
 	for sub := range s.subs {
 		delete(s.subs, sub)
+		if gerr == nil {
+			select {
+			case sub.ch <- goodbye:
+			default: // queue full: the drain delivers what it can
+			}
+		}
+		// Closing the channel (not the conn) lets serve drain the queued
+		// frames — goodbye included — under the drain deadline; drop then
+		// closes the socket.
 		close(sub.ch)
-		sub.conn.Close()
 	}
 	s.mu.Unlock()
 	s.met().subscribers.Set(0)
