@@ -18,13 +18,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"vab/internal/channel"
@@ -34,10 +39,109 @@ import (
 	"vab/internal/gateway"
 	"vab/internal/linksim"
 	"vab/internal/mac"
+	"vab/internal/netmem"
 	"vab/internal/node"
 	"vab/internal/ocean"
 	"vab/internal/sim"
+	"vab/internal/telemetry"
 )
+
+// sinkConn is a counting-sink subscriber socket for the gateway flush
+// workloads: the first Read serves a scripted client hello upgrading the
+// session to ProtocolV2, later Reads block until Close, and Writes are
+// accepted instantly. Drain cost is zero and identical regardless of
+// server internals, so the workload isolates server-side flush cost —
+// encode, sequence, fan-out, and the writer path down to the socket call.
+type sinkConn struct {
+	hello  []byte // remaining scripted bytes; only the server's read loop touches it
+	closed atomic.Bool
+	unread chan struct{}
+	addr   netmem.Addr
+}
+
+func newSinkConn(hello []byte) *sinkConn {
+	return &sinkConn{hello: hello, unread: make(chan struct{}), addr: netmem.Addr{Name: "sink"}}
+}
+
+func (c *sinkConn) Read(b []byte) (int, error) {
+	if len(c.hello) > 0 {
+		n := copy(b, c.hello)
+		c.hello = c.hello[n:]
+		return n, nil
+	}
+	<-c.unread
+	return 0, io.EOF
+}
+
+func (c *sinkConn) Write(b []byte) (int, error) {
+	if c.closed.Load() {
+		return 0, net.ErrClosed
+	}
+	return len(b), nil
+}
+
+// WriteBuffers accepts a writev batch in one call, matching the netmem
+// transport's vectored-write fast path so the workload exercises the
+// same server branch production transports hit.
+func (c *sinkConn) WriteBuffers(bufs net.Buffers) (int64, error) {
+	if c.closed.Load() {
+		return 0, net.ErrClosed
+	}
+	var n int64
+	for _, b := range bufs {
+		n += int64(len(b))
+	}
+	return n, nil
+}
+
+func (c *sinkConn) Close() error {
+	if c.closed.CompareAndSwap(false, true) {
+		close(c.unread)
+	}
+	return nil
+}
+
+func (c *sinkConn) LocalAddr() net.Addr              { return c.addr }
+func (c *sinkConn) RemoteAddr() net.Addr             { return c.addr }
+func (c *sinkConn) SetDeadline(time.Time) error      { return nil }
+func (c *sinkConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *sinkConn) SetWriteDeadline(time.Time) error { return nil }
+
+// sinkListener hands the server sink conns pushed via add, then blocks
+// in Accept like an idle socket. Conns are fed only after the server's
+// policies are configured: sessions must not register while the
+// constructor-default heartbeat policy is still in force.
+type sinkListener struct {
+	conns chan net.Conn
+	done  chan struct{}
+	addr  netmem.Addr
+}
+
+func newSinkListener(capacity int) *sinkListener {
+	return &sinkListener{conns: make(chan net.Conn, capacity), done: make(chan struct{}), addr: netmem.Addr{Name: "sink"}}
+}
+
+func (l *sinkListener) add(c net.Conn) { l.conns <- c }
+
+func (l *sinkListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *sinkListener) Close() error {
+	select {
+	case <-l.done:
+	default:
+		close(l.done)
+	}
+	return nil
+}
+
+func (l *sinkListener) Addr() net.Addr { return l.addr }
 
 // result is one workload's measurement.
 type result struct {
@@ -105,7 +209,18 @@ func main() {
 	budget := flag.Float64("time", 1.0, "seconds of measurement per workload")
 	compare := flag.String("compare", "", "previous vabbench snapshot to diff against (warns on >20% ns/op regressions)")
 	filter := flag.String("filter", "", "run only workloads whose name contains this substring")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured workloads")
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	env := ocean.CharlesRiver()
 	design, err := core.NewVanAttaDesign(core.DefaultNodeElements, env, core.DefaultCarrierHz)
@@ -260,6 +375,71 @@ func main() {
 	}
 	wireDecoded := make([]gateway.Reading, 0, len(wireReadings))
 
+	// Gateway fan-out workloads: an in-process server with N counting-sink
+	// subscribers; one op publishes `flushes` full batches and waits until
+	// every subscriber has received every flush frame (framesSent
+	// telemetry). ns/item is the per-reading-per-subscriber delivery cost.
+	// The 1k shape upgrades every subscriber to v2 (one batch frame per
+	// flush); the 10k shape keeps the fleet on the legacy v1 wire (one
+	// frame per reading — sixteen per flush), the per-frame fan-out cost
+	// that dominates with deployed pre-batching clients. Built lazily so
+	// filtered runs don't pay the session setup.
+	const gwBatch = 16
+	mkGatewayFlush := func(subs, flushes int, v2 bool) func() {
+		var op func()
+		return func() {
+			if op == nil {
+				var hello []byte
+				if v2 {
+					var err error
+					hello, err = gateway.EncodeFrame(gateway.MsgHello, []byte{gateway.ProtocolV2})
+					if err != nil {
+						fatal(err)
+					}
+				}
+				framesPerFlush := gwBatch // v1: one frame per reading
+				if v2 {
+					framesPerFlush = 1 // one batch frame per flush
+				}
+				ln := newSinkListener(subs)
+				srv := gateway.NewServerListener(context.Background(), ln, func(string, ...interface{}) {})
+				srv.SetBatching(gwBatch, time.Hour)
+				srv.SetHeartbeatPolicy(time.Hour, 3)
+				reg := telemetry.NewRegistry()
+				srv.Instrument(reg)
+				frames := reg.Counter("vab_gateway_frames_sent_total", "")
+				for i := 0; i < subs; i++ {
+					ln.add(newSinkConn(hello))
+				}
+				for srv.Subscribers() < subs {
+					time.Sleep(time.Millisecond)
+				}
+				time.Sleep(200 * time.Millisecond) // hello upgrades settle
+				rd := gateway.Reading{NodeAddr: 1, Seq: 1, Count: 1, TempC: 15, PressureMbar: 1250, SNRdB: 18, Time: time.Unix(0, 1700000000000000000).UTC()}
+				op = func() {
+					want := frames.Value() + int64(flushes*framesPerFlush*subs)
+					for f := 0; f < flushes; f++ {
+						for i := 0; i < gwBatch; i++ {
+							srv.Publish(rd)
+						}
+					}
+					for frames.Value() < want {
+						runtime.Gosched()
+					}
+				}
+				for i := 0; i < 4; i++ {
+					op() // writer buffers and arena freelist reach their high-water marks
+				}
+			}
+			op()
+		}
+	}
+	// The 10k op stays at 4 flushes: 64 v1 frames fills exactly one
+	// subscriber send-queue's worth of backlog, so the op is comparable
+	// across gateway designs without tripping slow-subscriber eviction.
+	gatewayFlush1k := mkGatewayFlush(1_000, 8, true)
+	gatewayFlush10k := mkGatewayFlush(10_000, 4, false)
+
 	// items gives per-op item counts for ns/item normalization (per-node
 	// cost for the fleet-cycle workloads, per-reading cost for the wire
 	// codecs); absent names are unit workloads.
@@ -270,6 +450,8 @@ func main() {
 		"abstract_cycle100k_parallel": 100_000,
 		"abstract_cycle1m_serial":     1_000_000,
 		"abstract_cycle1m_parallel":   1_000_000,
+		"gateway_flush_1k":            gwBatch * 8 * 1_000,
+		"gateway_flush_10k":           gwBatch * 4 * 10_000,
 		"payload_pack6":               6,
 		"wire_encode_batch16":         16,
 		"wire_decode_batch16":         16,
@@ -357,6 +539,8 @@ func main() {
 				fatal(err)
 			}
 		}},
+		{"gateway_flush_1k", func() { gatewayFlush1k() }},
+		{"gateway_flush_10k", func() { gatewayFlush10k() }},
 		{"payload_pack6", func() {
 			var err error
 			packBuf, err = node.AppendPacked(packBuf[:0], packReadings)

@@ -44,6 +44,7 @@ func main() {
 	hbMiss := flag.Int("heartbeat-miss", gateway.DefaultHeartbeatMiss, "missed heartbeat periods before a silent v2 peer is evicted")
 	replay := flag.Int("replay", gateway.DefaultReplayWindow, "replay ring size backing session resume, in readings (0 disables resume)")
 	drain := flag.Duration("drain", gateway.DefaultDrainTimeout, "graceful-drain budget on shutdown: time allowed to flush pending frames and goodbyes")
+	shards := flag.Int("shards", 0, "subscriber registry shards (0 = one per CPU; more shards spread fan-out across cores)")
 	netchaos := flag.String("netchaos", "", "wrap the listener in a seeded netfaults profile (e.g. \"chaos:0.25\", \"blips+lossy\"; empty = clean network; for resilience drills)")
 	netseed := flag.Int64("netseed", 1, "netfaults schedule seed (injections are pure functions of seed, connection and op index)")
 	flag.Parse()
@@ -111,6 +112,9 @@ func main() {
 		}
 	}
 	defer srv.Close()
+	if *shards > 0 {
+		srv.SetShards(*shards)
+	}
 	srv.SetBatching(*batch, *flush)
 	srv.SetHeartbeatPolicy(*heartbeat, *hbMiss)
 	srv.SetReplay(*replay)

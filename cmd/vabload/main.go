@@ -11,9 +11,17 @@
 // frames, and -resume lets their sessions recover the gaps from the
 // replay ring.
 //
+// The -transport flag picks the wire: real loopback TCP for fidelity, or
+// the in-process netmem transport for scale (100k+ subscribers need
+// neither fds nor ports). "auto" uses TCP up to a few thousand
+// subscribers and netmem beyond that. -check turns the soak into an
+// assertion: a nonzero exit when any publish stalled or any subscriber
+// observed a sequence gap.
+//
 // Usage:
 //
 //	vabload -subs 1000 -cycles 50 -resume
+//	vabload -subs 100000 -transport mem -cycles 5 -nodes 64 -check
 //	vabload -subs 256 -netchaos chaos:0.25 -netseed 7 -resume -json load.json
 package main
 
@@ -34,8 +42,15 @@ import (
 	"vab/internal/gateway"
 	"vab/internal/linksim"
 	"vab/internal/mac"
+	"vab/internal/netmem"
+	"vab/internal/rlimit"
 	"vab/internal/telemetry"
 )
+
+// tcpSubLimit is where -transport auto switches to netmem: past a few
+// thousand loopback connections the soak measures fd and ephemeral-port
+// limits, not the gateway.
+const tcpSubLimit = 4096
 
 // subStats is one subscriber's tally, written by its goroutine and read
 // after the soak joins.
@@ -51,6 +66,8 @@ type report struct {
 	Date         string  `json:"date"`
 	Go           string  `json:"go"`
 	CPUs         int     `json:"cpus"`
+	Transport    string  `json:"transport"`
+	Shards       int     `json:"shards"`
 	Subs         int     `json:"subs"`
 	Cycles       int     `json:"cycles"`
 	Nodes        int     `json:"nodes"`
@@ -61,6 +78,7 @@ type report struct {
 	MeanPerSub   float64 `json:"mean_delivered_per_sub"`
 	P50Ms        float64 `json:"fanout_p50_ms"`
 	P99Ms        float64 `json:"fanout_p99_ms"`
+	FanoutMps    float64 `json:"fanout_mreading_subs_per_sec"`
 	MaxPublishUs float64 `json:"max_publish_us"`
 	Stalls       int64   `json:"publish_stalls"`
 	Reconnects   int64   `json:"reconnects"`
@@ -82,6 +100,10 @@ func main() {
 	replay := flag.Int("replay", gateway.DefaultReplayWindow, "server replay ring size (readings)")
 	netchaos := flag.String("netchaos", "", "netfaults profile wrapping the listener (e.g. \"chaos:0.25\", \"blips+lossy\"; empty = clean network)")
 	netseed := flag.Int64("netseed", 1, "netfaults schedule seed")
+	transport := flag.String("transport", "auto", "subscriber transport: tcp, mem (in-process), or auto")
+	shards := flag.Int("shards", 0, "subscriber registry shards (0 = one per CPU)")
+	check := flag.Bool("check", false, "exit nonzero if any publish stalled or any subscriber saw a sequence gap")
+	readWait := flag.Duration("readwait", 2*time.Second, "subscriber read patience per frame before reconnecting (scale up with six-figure fleets: fan-out sweeps take longer than quiet-period detection)")
 	sample := flag.Int("sample", 8, "record fan-out latency for every Nth reading per subscriber")
 	jsonOut := flag.String("json", "", "write the report as JSON to this file (\"-\" = stdout)")
 	flag.Parse()
@@ -89,13 +111,39 @@ func main() {
 		log.Fatal("vabload: -subs, -cycles and -sample must be positive")
 	}
 
+	switch *transport {
+	case "auto":
+		if *subs > tcpSubLimit {
+			*transport = "mem"
+		} else {
+			*transport = "tcp"
+		}
+	case "tcp", "mem":
+	default:
+		log.Fatalf("vabload: unknown -transport %q (want tcp, mem or auto)", *transport)
+	}
+
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
 	// Gateway, optionally behind the chaos wrapper.
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		log.Fatalf("vabload: listen: %v", err)
+	var ln net.Listener
+	var memLn *netmem.Listener
+	if *transport == "mem" {
+		memLn = netmem.Listen("vabload", 0)
+		ln = memLn
+	} else {
+		// Each subscriber costs two fds (dialer + accepted conn); raise the
+		// soft limit toward the need, best-effort, before the ramp.
+		need := uint64(2**subs + 64)
+		if got := rlimit.RaiseNoFile(need); got < need {
+			log.Printf("vabload: fd limit %d < %d needed for %d TCP subscribers; use -transport mem for large fleets", got, need, *subs)
+		}
+		var err error
+		ln, err = net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("vabload: listen: %v", err)
+		}
 	}
 	serveLn := ln
 	if *netchaos != "" {
@@ -111,11 +159,35 @@ func main() {
 	}
 	srv := gateway.NewServerListener(ctx, serveLn, log.Printf)
 	defer srv.Close()
+	if *shards > 0 {
+		srv.SetShards(*shards)
+	}
 	srv.SetBatching(*batch, *flush)
 	srv.SetReplay(*replay)
+	if *subs > tcpSubLimit {
+		// A full fan-out sweep over a six-figure fleet outlasts the default
+		// heartbeat budget; relax it so slow-but-progressing subscribers
+		// aren't declared dead mid-soak.
+		srv.SetHeartbeatPolicy(30*time.Second, 10)
+	}
 	reg := telemetry.NewRegistry()
 	srv.Instrument(reg)
 	addr := ln.Addr().String()
+	dial := func(ctx context.Context, opts ...gateway.DialOption) (*gateway.Client, error) {
+		if memLn == nil {
+			return gateway.Dial(ctx, addr, opts...)
+		}
+		conn, err := memLn.Dial()
+		if err != nil {
+			return nil, err
+		}
+		c, err := gateway.NewClientConn(conn, opts...)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		return c, nil
+	}
 
 	// The feed: abstract-tier fleet on the calibrated link model.
 	fleet, err := linksim.NewFleet(linksim.Config{
@@ -143,11 +215,13 @@ func main() {
 		wg.Add(1)
 		go func(st *subStats) {
 			defer wg.Done()
-			runSubscriber(subCtx, addr, *resume, *sample, st, &live)
+			runSubscriber(subCtx, dial, *resume, *sample, *readWait, st, &live)
 		}(&stats[i])
 	}
 	waitFor := func(n int64) {
-		deadline := time.Now().Add(30 * time.Second)
+		// Connection ramp scales with the fleet: give six-figure soaks
+		// time to shake hands before declaring the missing stragglers.
+		deadline := time.Now().Add(30*time.Second + time.Duration(*subs/1000)*time.Second)
 		for live.Load() < n && time.Now().Before(deadline) {
 			time.Sleep(10 * time.Millisecond)
 		}
@@ -170,6 +244,7 @@ func main() {
 	var published, stalls int64
 	var maxPublish time.Duration
 	seq := uint64(0)
+	publishStart := time.Now()
 	for c := 0; c < *cycles; c++ {
 		rep, err := fleet.RunCycle()
 		if err != nil {
@@ -199,7 +274,20 @@ func main() {
 		time.Sleep(*interval)
 	}
 	srv.Flush()
-	time.Sleep(500 * time.Millisecond) // let the tail fan out
+	// Let the tail fan out: wait until the frames-sent counter goes quiet
+	// (no growth for a second) rather than a fixed pause — a 100k-sub
+	// sweep drains for tens of seconds after the last publish.
+	framesSent := reg.Counter("vab_gateway_frames_sent_total", "")
+	settleBudget := time.Now().Add(30*time.Second + time.Duration(*subs/1000)*time.Second)
+	for last := int64(-1); time.Now().Before(settleBudget); {
+		cur := framesSent.Value()
+		if cur == last {
+			break
+		}
+		last = cur
+		time.Sleep(time.Second)
+	}
+	fanoutWindow := time.Since(publishStart)
 	stopSubs()
 	wg.Wait()
 
@@ -207,7 +295,8 @@ func main() {
 	var all []float64
 	rep := report{
 		Date: time.Now().UTC().Format(time.RFC3339), Go: runtime.Version(),
-		CPUs: runtime.NumCPU(), Subs: *subs, Cycles: *cycles, Nodes: *nodes,
+		CPUs: runtime.NumCPU(), Transport: *transport, Shards: *shards,
+		Subs: *subs, Cycles: *cycles, Nodes: *nodes,
 		Resume: *resume, NetChaos: *netchaos,
 		Published:    published,
 		MaxPublishUs: float64(maxPublish) / float64(time.Microsecond),
@@ -229,9 +318,12 @@ func main() {
 	}
 	sort.Float64s(all)
 	rep.P50Ms, rep.P99Ms = percentile(all, 0.50), percentile(all, 0.99)
+	if secs := fanoutWindow.Seconds(); secs > 0 {
+		rep.FanoutMps = float64(rep.Delivered) / secs / 1e6
+	}
 
-	log.Printf("vabload: published %d, delivered %d (%.1f/sub), fan-out p50 %.2f ms p99 %.2f ms",
-		rep.Published, rep.Delivered, rep.MeanPerSub, rep.P50Ms, rep.P99Ms)
+	log.Printf("vabload: published %d, delivered %d (%.1f/sub) over %s via %s — %.2f M reading·subs/s, fan-out p50 %.2f ms p99 %.2f ms",
+		rep.Published, rep.Delivered, rep.MeanPerSub, fanoutWindow.Round(time.Millisecond), *transport, rep.FanoutMps, rep.P50Ms, rep.P99Ms)
 	log.Printf("vabload: max publish %.0f µs (stalls %d), reconnects %d, gaps %d, aged-out %d, evictions slow=%d dead=%d, replayed %d",
 		rep.MaxPublishUs, rep.Stalls, rep.Reconnects, rep.Gaps, rep.ReplayLoss, rep.SlowEvicts, rep.DeadEvicts, rep.Replayed)
 
@@ -247,11 +339,15 @@ func main() {
 			log.Fatalf("vabload: %v", err)
 		}
 	}
+
+	if *check && (rep.Stalls > 0 || rep.Gaps > 0) {
+		log.Fatalf("vabload: check failed: %d publish stalls, %d gap readings (want zero of both)", rep.Stalls, rep.Gaps)
+	}
 }
 
 // runSubscriber dials (and re-dials) until ctx ends, tallying deliveries,
 // latency samples and sequence gaps.
-func runSubscriber(ctx context.Context, addr string, resume bool, sample int, st *subStats, live *atomic.Int64) {
+func runSubscriber(ctx context.Context, dial func(context.Context, ...gateway.DialOption) (*gateway.Client, error), resume bool, sample int, readWait time.Duration, st *subStats, live *atomic.Int64) {
 	var lastSeq uint64
 	first := true
 	for ctx.Err() == nil {
@@ -259,7 +355,7 @@ func runSubscriber(ctx context.Context, addr string, resume bool, sample int, st
 		if resume {
 			opts = append(opts, gateway.WithResume(lastSeq))
 		}
-		c, err := gateway.Dial(ctx, addr, opts...)
+		c, err := dial(ctx, opts...)
 		if err != nil {
 			select {
 			case <-ctx.Done():
@@ -276,11 +372,23 @@ func runSubscriber(ctx context.Context, addr string, resume bool, sample int, st
 		}
 		stop := context.AfterFunc(ctx, func() { c.Close() })
 		ackChecked := false
+		got := false
 		for {
-			rd, err := c.Next(time.Now().Add(2 * time.Second))
+			// The per-reading patience doubles as liveness detection, but a
+			// session's FIRST reading can lag far behind the handshake: on a
+			// six-figure ramp the publisher starts only once the whole fleet
+			// is connected. Give the stream generous time to begin; apply
+			// readWait once it has. Real connection errors surface
+			// immediately either way.
+			wait := readWait
+			if !got {
+				wait = max(readWait, 5*time.Minute)
+			}
+			rd, err := c.Next(time.Now().Add(wait))
 			if err != nil {
 				break
 			}
+			got = true
 			st.delivered++
 			if st.delivered%int64(sample) == 0 {
 				st.samples = append(st.samples, float64(time.Since(rd.Time))/float64(time.Millisecond))

@@ -129,7 +129,10 @@ func TestBatchOversizeSplits(t *testing.T) {
 	}
 	// The server-side splitter must still deliver every reading.
 	s := &Server{logf: func(string, ...interface{}) {}}
-	frames := s.appendBatchFrames(nil, rds)
+	s.pending = rds
+	b := &broadcast{}
+	s.encodeBroadcast(b, false, true, false)
+	frames := b.v2
 	var got []Reading
 	for _, frame := range frames {
 		payload := frame[frameHeaderSize:]
@@ -269,15 +272,7 @@ func waitUpgrade(t *testing.T, s *Server) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		s.mu.Lock()
-		up := false
-		for sub := range s.subs {
-			if sub.version.Load() >= ProtocolV2 {
-				up = true
-			}
-		}
-		s.mu.Unlock()
-		if up {
+		if s.cntV2.Load() > 0 || s.cntSeq.Load() > 0 {
 			return
 		}
 		time.Sleep(time.Millisecond)

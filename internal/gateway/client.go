@@ -53,6 +53,7 @@ type dialConfig struct {
 	protocol         byte
 	resume           bool
 	resumeLast       uint64
+	localAddr        net.Addr
 }
 
 // WithHandshakeTimeout bounds the wait for the gateway's hello frame
@@ -92,17 +93,41 @@ func WithResume(lastSeq uint64) DialOption {
 	}
 }
 
+// WithLocalAddr pins the TCP source address for the dial. Load harnesses
+// fanning tens of thousands of sessions at one gateway use it to spread
+// connections across multiple loopback source IPs, sidestepping the
+// ~28k ephemeral-port ceiling per (srcIP, dstIP, dstPort) tuple.
+func WithLocalAddr(addr net.Addr) DialOption {
+	return func(c *dialConfig) { c.localAddr = addr }
+}
+
 // Dial connects to a gateway and verifies the protocol handshake.
 func Dial(ctx context.Context, addr string, opts ...DialOption) (*Client, error) {
 	cfg := dialConfig{handshakeTimeout: 5 * time.Second, protocol: ProtocolV1}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	var d net.Dialer
+	d := net.Dialer{LocalAddr: cfg.localAddr}
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	return newClientConn(conn, cfg)
+}
+
+// NewClientConn runs the gateway handshake over an existing connection —
+// any net.Conn, not just TCP. The in-process load harness uses it to
+// subscribe over netmem conns; it also suits tunneled or pre-dialed
+// transports. The conn is closed on handshake failure.
+func NewClientConn(conn net.Conn, opts ...DialOption) (*Client, error) {
+	cfg := dialConfig{handshakeTimeout: 5 * time.Second, protocol: ProtocolV1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return newClientConn(conn, cfg)
+}
+
+func newClientConn(conn net.Conn, cfg dialConfig) (*Client, error) {
 	c := &Client{conn: conn}
 	// Expect the hello frame promptly.
 	conn.SetReadDeadline(time.Now().Add(cfg.handshakeTimeout))
@@ -125,7 +150,8 @@ func Dial(ctx context.Context, addr string, opts ...DialOption) (*Client, error)
 			return nil, fmt.Errorf("gateway: protocol upgrade: %w", err)
 		}
 		// A v2 session answers heartbeats, making it liveness-trackable.
-		c.pong, _ = EncodeFrame(MsgPong, nil)
+		// The pong frame is constant — share the package-level encoding.
+		c.pong = pongFrame
 	}
 	if cfg.resume {
 		frame, err := EncodeFrame(MsgResume, AppendResume(nil, cfg.resumeLast))

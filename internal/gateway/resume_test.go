@@ -356,15 +356,10 @@ func waitForSequenced(t *testing.T, s *Server) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		s.mu.Lock()
-		ok := false
-		for sub := range s.subs {
-			if sub.sequenced.Load() {
-				ok = true
-			}
-		}
-		s.mu.Unlock()
-		if ok {
+		// cntSeq moves under the sequence lock when MsgResume is
+		// processed — once it is nonzero, the replay entry is queued
+		// ahead of any flush published after this point.
+		if s.cntSeq.Load() > 0 {
 			return
 		}
 		if time.Now().After(deadline) {

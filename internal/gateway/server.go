@@ -4,21 +4,37 @@ import (
 	"context"
 	"log"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// Server fans decoded readings out to TCP subscribers. Slow subscribers are
-// disconnected rather than allowed to exert backpressure on the reader (a
-// live telemetry feed must never stall the acoustic polling loop).
+// Server fans decoded readings out to TCP subscribers. Slow subscribers
+// are disconnected rather than allowed to exert backpressure on the
+// reader (a live telemetry feed must never stall the acoustic polling
+// loop).
+//
+// Fan-out architecture (see DESIGN.md "Fan-out architecture"): the
+// subscriber registry is split across N independently locked shards,
+// each with its own flusher goroutine. Publish-side state — sequencing,
+// the replay ring, batch coalescing, frame encoding — lives under one
+// small sequence lock (seqMu) that is never held across per-subscriber
+// work, so Publish costs O(encode) regardless of subscriber count. Each
+// flush encodes its v1/v2/sequenced frame variants exactly once into a
+// refcounted broadcast arena; shard flushers land arena references in
+// per-subscriber frame rings, and each subscriber's writer goroutine
+// drains many queued flushes per wakeup through one writev
+// (net.Buffers). Steady-state broadcasts allocate nothing: arenas
+// recycle through a freelist once the last writer releases them.
 //
 // Published readings can be coalesced (SetBatching): the server buffers
 // them and flushes when the batch fills or a deadline expires. At flush,
 // v1 subscribers receive one MsgReading frame per reading — exactly the
 // original stream, just bursty — while subscribers that negotiated
-// protocol v2 (by sending a Hello frame back) receive one MsgReadingBatch
-// frame per flush, cutting wire bytes per reading several-fold.
+// protocol v2 (by sending a Hello frame back) receive one
+// MsgReadingBatch frame per flush, cutting wire bytes per reading
+// several-fold.
 //
 // Resilience (see resume.go and DESIGN.md "Gateway resilience contract"):
 // every reading gets a stream sequence and enters a replay ring, so a
@@ -30,15 +46,27 @@ import (
 type Server struct {
 	ln   net.Listener
 	logf func(format string, args ...interface{})
-	mu   sync.Mutex
-	subs map[*subscriber]struct{}
 
-	closed bool
+	// shards hold the subscriber registry; mutated only by SetShards
+	// before traffic, always read under seqMu.
+	shards   []*shard
+	shardIdx int // round-robin registration cursor, under seqMu
+
+	// Live-census atomics: subscriber count and per-variant counts (how
+	// many v1 / v2 / sequenced subscribers exist right now). The flush
+	// path reads them to decide which frame variants to encode without
+	// touching any shard lock.
+	subCount atomic.Int64
+	cntV1    atomic.Int64
+	cntV2    atomic.Int64
+	cntSeq   atomic.Int64
+
+	closed bool // under seqMu
 	wg     sync.WaitGroup
 
-	// Heartbeat policy: period between MsgHeartbeat frames per subscriber,
-	// and how many periods of inbound silence a pong-capable subscriber
-	// survives before it is declared dead. Guarded by mu.
+	// Heartbeat policy: period between MsgHeartbeat frames per
+	// subscriber, and how many periods of inbound silence a pong-capable
+	// subscriber survives before it is declared dead. Guarded by seqMu.
 	hbPeriod time.Duration
 	hbMiss   int
 
@@ -47,49 +75,108 @@ type Server struct {
 	drainTimeout time.Duration
 	drainUntil   atomic.Int64
 
-	// Stream sequencing and replay, guarded by mu. nextSeq is the sequence
-	// the next published reading will carry; pendingFirst is the sequence
-	// of pending[0]. ring retains the replay window (nil = resume serves
-	// live-only).
+	// hbTimer paces the heartbeat sweep (one timer for the whole server,
+	// not one ticker per subscriber); hbDone ends the sweep loop.
+	hbTimer *time.Timer
+	hbDone  chan struct{}
+
+	// seqMu is the sequence lock: it guards stream ordering (nextSeq,
+	// pending, the replay ring), batching state, and the encode scratch.
+	// It is held for O(encode) per flush — never across subscriber I/O
+	// or shard iteration — which is what keeps Publish latency flat as
+	// subscriber counts grow.
+	seqMu        sync.Mutex
 	nextSeq      uint64
 	pendingFirst uint64
 	ring         *ReplayRing
 
-	// Broadcast coalescing state, guarded by mu. batchMax 1 (the
-	// default) publishes immediately, preserving v1 latency.
 	batchMax   int
 	flushAfter time.Duration
 	pending    []Reading
 	flushTimer *time.Timer
+	timerArmed bool
 	v1Payload  []byte    // scratch for one v1 reading payload
 	v2Payload  []byte    // scratch for one batch payload
 	replayBuf  []Reading // scratch for ring replays
 
-	// metrics is swapped atomically by Instrument; nil means telemetry is
-	// off and every recording below is a free no-op.
+	// freeBcast recycles broadcast arenas (see broadcast.go).
+	freeBcast chan *broadcast
+
+	// metrics is swapped atomically by Instrument; nil means telemetry
+	// is off and every recording below is a free no-op.
 	metrics metricsPtr
 }
 
+// subscriber delivery classes, in fan-out selection order.
+const (
+	classV1 uint32 = iota + 1
+	classV2
+	classSeq
+)
+
+// subscriber countState values: which variant census bucket the
+// subscriber currently occupies (exactly one, until removal zeroes it).
+const (
+	subGone int32 = iota
+	subV1
+	subV2
+	subSeq
+)
+
 type subscriber struct {
-	conn net.Conn
-	ch   chan []byte // encoded frames
-	// version is the negotiated protocol: 1 until the client's Hello
-	// upgrades it (written by the per-subscriber read loop, read by the
-	// flush path).
-	version atomic.Uint32
-	// sequenced flips when the client sends MsgResume: from then on the
-	// flush path sends MsgSeqBatch frames to this subscriber.
-	sequenced atomic.Bool
+	conn  net.Conn
+	ring  *frameRing
+	wake  chan struct{} // capacity 1: writer wakeup
+	shard *shard
+	// isTCP selects the writev fast path; other conns (netfaults
+	// wrappers, in-memory transports) get one coalesced Write instead.
+	isTCP bool
+	// class is the delivery variant the fan-out path selects by: v1
+	// until the client's Hello upgrades it to v2, and sequenced from the
+	// moment the shard flusher lands the subscriber's resume entry. One
+	// atomic, because fan-out reads it for every subscriber on every
+	// flush.
+	class atomic.Uint32
 	// pongable flips on the first inbound pong/hello: only subscribers
 	// that have proven they answer are liveness-judged by silence.
 	pongable atomic.Bool
 	// lastSeen is the UnixNano of the last inbound frame.
 	lastSeen atomic.Int64
+	// countState tracks which census bucket (subV1/subV2/subSeq) this
+	// subscriber is counted in; removal swaps in subGone exactly once.
+	countState atomic.Int32
+	// bw is conn's writev-style batch interface when it has one (netmem
+	// conns); resolved once at registration.
+	bw buffersWriter
+	// wcount counts writer batches since the last wake-from-empty; the
+	// write deadline is re-armed when it is 0 (and every 256th batch in
+	// a sustained burst), so steady-state drains skip the timer reset.
+	// Touched only by the serve goroutine.
+	wcount uint32
 }
 
-// sendBuffer is the per-subscriber queue; a full queue marks the
-// subscriber as too slow.
-const sendBuffer = 64
+// buffersWriter is the vectored-write interface non-TCP conns may
+// provide (netmem does): all buffers under one lock with one reader
+// wakeup, the in-memory analogue of writev.
+type buffersWriter interface {
+	WriteBuffers(bufs net.Buffers) (int64, error)
+}
+
+// wakeWriter nudges the subscriber's writer goroutine (non-blocking:
+// capacity-1 channel coalesces redundant wakeups).
+func (sub *subscriber) wakeWriter() {
+	select {
+	case sub.wake <- struct{}{}:
+	default:
+	}
+}
+
+// writerBatch is how many ring entries a writer drains per wakeup; all
+// their frames go out in one writev.
+const writerBatch = 32
+
+// maxShards bounds SetShards.
+const maxShards = 64
 
 // defaultFlushAfter bounds how long a partial batch may wait once
 // batching is enabled without an explicit deadline.
@@ -108,6 +195,25 @@ const (
 	DefaultDrainTimeout = 2 * time.Second
 )
 
+// Pre-encoded constant frames: these never vary, so encoding them per
+// subscriber per tick was pure waste on the hot path.
+var (
+	helloFrame      = mustFrame(MsgHello, []byte{ProtocolV1})
+	heartbeatFrame  = mustFrame(MsgHeartbeat, nil)
+	heartbeatFrames = [][]byte{heartbeatFrame}
+	goodbyeFrame    = mustFrame(MsgGoodbye, nil)
+	goodbyeFrames   = [][]byte{goodbyeFrame}
+	pongFrame       = mustFrame(MsgPong, nil)
+)
+
+func mustFrame(t MsgType, payload []byte) []byte {
+	f, err := EncodeFrame(t, payload)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
 // NewServer starts listening on addr (e.g. "127.0.0.1:0"). The returned
 // server accepts connections until Close or ctx cancellation.
 func NewServer(ctx context.Context, addr string, logf func(string, ...interface{})) (*Server, error) {
@@ -120,9 +226,9 @@ func NewServer(ctx context.Context, addr string, logf func(string, ...interface{
 }
 
 // NewServerListener serves an existing listener — the hook load and chaos
-// harnesses use to interpose a netfaults.Listener (or any wrapper)
-// between the gateway and its subscribers. The server owns ln from here
-// on and closes it on Close or ctx cancellation.
+// harnesses use to interpose a netfaults.Listener (or an in-memory
+// netmem.Listener) between the gateway and its subscribers. The server
+// owns ln from here on and closes it on Close or ctx cancellation.
 func NewServerListener(ctx context.Context, ln net.Listener, logf func(string, ...interface{})) *Server {
 	if logf == nil {
 		logf = log.Printf
@@ -130,17 +236,96 @@ func NewServerListener(ctx context.Context, ln net.Listener, logf func(string, .
 	s := &Server{
 		ln:           ln,
 		logf:         logf,
-		subs:         make(map[*subscriber]struct{}),
 		hbPeriod:     DefaultHeartbeat,
 		hbMiss:       DefaultHeartbeatMiss,
 		drainTimeout: DefaultDrainTimeout,
 		nextSeq:      1,
 		ring:         NewReplayRing(DefaultReplayWindow),
 		batchMax:     1,
+		freeBcast:    make(chan *broadcast, broadcastFreelist),
+		hbDone:       make(chan struct{}),
 	}
-	s.wg.Add(1)
+	s.hbTimer = time.NewTimer(s.hbPeriod)
+	s.startShards(defaultShards())
+	s.wg.Add(2)
 	go s.acceptLoop(ctx)
+	go s.heartbeatLoop()
 	return s
+}
+
+// heartbeatLoop paces the liveness sweep: every heartbeat period it
+// queues one sweep entry per shard, and the shard flushers push the
+// pre-encoded MsgHeartbeat frame into idle rings and evict pong-capable
+// subscribers that went silent. Centralizing this removes the per-
+// subscriber ticker and the two-way select from the writer hot loop —
+// at 100k sessions those were a measurable share of every wakeup.
+func (s *Server) heartbeatLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.hbTimer.C:
+		case <-s.hbDone:
+			return
+		}
+		s.seqMu.Lock()
+		if s.closed {
+			s.seqMu.Unlock()
+			return
+		}
+		period := s.hbPeriod
+		silence := time.Duration(s.hbMiss) * period
+		for _, sh := range s.shards {
+			sh.enqueue(shardEntry{kind: entryHeartbeat, silence: silence})
+		}
+		s.hbTimer.Reset(period)
+		s.seqMu.Unlock()
+	}
+}
+
+// defaultShards sizes the registry to the machine: one shard per
+// available CPU, capped — beyond a handful the shard locks stop being
+// the bottleneck and the extra flusher goroutines are dead weight.
+func defaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > 8 {
+		n = 8
+	}
+	return n
+}
+
+// startShards replaces the shard set. Callers hold seqMu (or are the
+// constructor).
+func (s *Server) startShards(n int) {
+	s.shards = make([]*shard, n)
+	for i := range s.shards {
+		s.shards[i] = newShard(s)
+		s.wg.Add(1)
+		go s.shards[i].run()
+	}
+}
+
+// SetShards resizes the fan-out to n shards (clamped to [1, 64]). Only
+// honored before any subscriber connects — the registry cannot be
+// re-sharded under live sessions.
+func (s *Server) SetShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
+	if s.closed || s.subCount.Load() != 0 || n == len(s.shards) {
+		return
+	}
+	for _, sh := range s.shards {
+		sh.closeQueue() // empty registries: flushers just exit
+	}
+	s.startShards(n)
 }
 
 // Addr returns the bound listen address.
@@ -156,29 +341,60 @@ func (s *Server) acceptLoop(ctx context.Context) {
 		if err != nil {
 			return // listener closed
 		}
-		sub := &subscriber{conn: conn, ch: make(chan []byte, sendBuffer)}
-		sub.version.Store(ProtocolV1)
-		sub.lastSeen.Store(time.Now().UnixNano())
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			conn.Close()
-			return
+		if !s.register(conn) {
+			return // server closing
 		}
-		s.subs[sub] = struct{}{}
-		n := len(s.subs)
-		// The serve/readLoop goroutines join the WaitGroup before the
-		// lock is released: Close observes either no subscriber (conn
-		// closed above) or a fully accounted one — it cannot slip between
-		// registration and wg.Add and leak a goroutine.
-		s.wg.Add(2)
-		s.mu.Unlock()
-		m := s.met()
-		m.connects.Inc()
-		m.subscribers.Set(float64(n))
-		go s.serve(sub)
-		go s.readLoop(sub)
 	}
+}
+
+// register wires a new connection into the fan-out: pick a shard
+// round-robin, join its registry, and start the session goroutines.
+func (s *Server) register(conn net.Conn) bool {
+	s.seqMu.Lock()
+	if s.closed {
+		s.seqMu.Unlock()
+		conn.Close()
+		return false
+	}
+	sh := s.shards[s.shardIdx%len(s.shards)]
+	s.shardIdx++
+	s.seqMu.Unlock()
+
+	sub := &subscriber{
+		conn:  conn,
+		ring:  newFrameRing(),
+		wake:  make(chan struct{}, 1),
+		shard: sh,
+	}
+	_, sub.isTCP = conn.(*net.TCPConn)
+	sub.bw, _ = conn.(buffersWriter)
+	sub.class.Store(classV1)
+	sub.countState.Store(subV1)
+	sub.lastSeen.Store(time.Now().UnixNano())
+
+	sh.mu.Lock()
+	if sh.dead {
+		sh.mu.Unlock()
+		conn.Close()
+		return false
+	}
+	sh.subs[sub] = struct{}{}
+	s.cntV1.Add(1)
+	// The serve/readLoop goroutines join the WaitGroup before the shard
+	// lock is released: Close's wg.Wait cannot slip between registration
+	// and wg.Add and leak a goroutine (the shard flushers keep the
+	// counter nonzero until after their shutdown entry runs, which needs
+	// this same lock).
+	s.wg.Add(2)
+	sh.mu.Unlock()
+
+	n := s.subCount.Add(1)
+	m := s.met()
+	m.connects.Inc()
+	m.subscribers.Set(float64(n))
+	go s.serve(sub)
+	go s.readLoop(sub)
+	return true
 }
 
 // readLoop drains frames the subscriber sends upstream. v1 clients send
@@ -206,7 +422,11 @@ func (s *Server) readLoop(sub *subscriber) {
 		switch t {
 		case MsgHello:
 			if len(payload) == 1 && payload[0] >= ProtocolV2 {
-				sub.version.Store(ProtocolV2)
+				if sub.countState.CompareAndSwap(subV1, subV2) {
+					s.cntV1.Add(-1)
+					s.cntV2.Add(1)
+				}
+				sub.class.CompareAndSwap(classV1, classV2)
 				sub.pongable.Store(true)
 				s.met().upgrades.Inc()
 			}
@@ -222,21 +442,36 @@ func (s *Server) readLoop(sub *subscriber) {
 	}
 }
 
-// handleResume switches sub to sequenced delivery and enqueues the
-// resume ack plus the replayable gap, all under the broadcast lock so
-// replayed sequences land strictly before any subsequent live flush.
+// handleResume computes the replay under the sequence lock and routes it
+// through the subscriber's shard queue as a control entry, so the ack
+// and replayed sequences land strictly before any flush enqueued later
+// — the flusher processes its queue FIFO, and every enqueue (this one
+// and all flushes) happens under seqMu.
 func (s *Server) handleResume(sub *subscriber, lastSeq uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
 	if s.closed {
 		return
 	}
-	if _, ok := s.subs[sub]; !ok {
+	// Move the subscriber to the sequenced census bucket; a subscriber
+	// already removed (subGone) gets nothing.
+	switch {
+	case sub.countState.CompareAndSwap(subV2, subSeq):
+		s.cntV2.Add(-1)
+		s.cntSeq.Add(1)
+	case sub.countState.CompareAndSwap(subV1, subSeq):
+		s.cntV1.Add(-1)
+		s.cntSeq.Add(1)
+	case sub.countState.Load() == subSeq:
+		// Repeated resume on a live session: recompute the replay below.
+	default:
 		return
 	}
-	sub.version.Store(ProtocolV2)
+	sub.class.CompareAndSwap(classV1, classV2)
 	sub.pongable.Store(true)
-	sub.sequenced.Store(true)
+	// sub.class flips to classSeq when the shard flusher lands the
+	// entry, which keeps the v2→seq delivery switch FIFO with
+	// surrounding flushes.
 
 	// Replay covers everything up to (not including) the pending batch:
 	// pending readings reach this subscriber through the ordinary flush,
@@ -269,83 +504,77 @@ func (s *Server) handleResume(sub *subscriber, lastSeq uint64) {
 	}
 	frames := [][]byte{frame}
 	if len(s.replayBuf) > 0 {
-		frames = s.appendSeqBatchFrames(frames, s.replayBuf, firstSeq)
+		frames = appendSeqBatchFramesAlloc(frames, s.replayBuf, firstSeq, s.logf)
 	}
-	for _, f := range frames {
-		select {
-		case sub.ch <- f:
-		default:
-			// The replay alone saturated the queue: the subscriber cannot
-			// keep up; evict it like any other slow subscriber.
-			s.evictLocked(sub, "resume overflow")
-			return
-		}
-	}
+	sub.shard.enqueue(shardEntry{kind: entryResume, sub: sub, frames: frames})
 	m := s.met()
 	m.resumes.Inc()
 	m.replayed.Add(int64(len(s.replayBuf)))
 }
 
+// serve is the subscriber's writer goroutine: handshake, then drain the
+// frame ring — many entries per wakeup, all frames in one writev. The
+// wait is a bare channel receive: heartbeats and dead-peer checks are
+// the heartbeat sweep's job (heartbeatLoop), which queues pre-encoded
+// MsgHeartbeat frames through this same ring, so the hot loop carries no
+// ticker and no select.
 func (s *Server) serve(sub *subscriber) {
 	defer s.wg.Done()
 	defer s.drop(sub)
-	// Handshake: the hello payload stays the single byte [1] that v1
-	// clients require; v2-capable clients answer with their own Hello.
-	hello, err := EncodeFrame(MsgHello, []byte{ProtocolV1})
-	if err != nil {
+	if err := s.writeOne(sub, helloFrame); err != nil {
 		return
 	}
-	if err := s.write(sub, hello); err != nil {
-		return
-	}
-	s.mu.Lock()
-	period := s.hbPeriod
-	miss := s.hbMiss
-	s.mu.Unlock()
-	hb := time.NewTicker(period)
-	defer hb.Stop()
+	entries := make([]ringEntry, writerBatch)
+	var bufs net.Buffers
+	var flat []byte
 	for {
-		select {
-		case frame, ok := <-sub.ch:
-			if !ok {
+		n, done := sub.ring.popInto(entries)
+		if n == 0 {
+			if done {
 				return
 			}
-			if err := s.write(sub, frame); err != nil {
-				return
-			}
-		case <-hb.C:
-			// Dead-peer check first: a subscriber that has proven it pongs
-			// and then went silent for miss periods is gone — its TCP
-			// window may take minutes to fill, but the deployment needs
-			// the slot (and the eviction metric) now.
-			if sub.pongable.Load() {
-				idle := time.Since(time.Unix(0, sub.lastSeen.Load()))
-				if idle > time.Duration(miss)*period {
-					s.met().hbDrops.Inc()
-					s.logf("gateway: dropping dead peer %v (silent %v)", sub.conn.RemoteAddr(), idle.Round(time.Millisecond))
-					return
-				}
-			}
-			frame, err := EncodeFrame(MsgHeartbeat, nil)
-			if err != nil {
-				return
-			}
-			if err := s.write(sub, frame); err != nil {
-				return
-			}
-			s.met().heartbeats.Inc()
+			<-sub.wake
+			sub.wcount = 0 // re-arm the write deadline on the next batch
+			continue
+		}
+		err := s.writeEntries(sub, entries[:n], &bufs, &flat)
+		for i := 0; i < n; i++ {
+			s.releaseBroadcast(entries[i].b)
+			entries[i] = ringEntry{}
+		}
+		if err != nil {
+			return
 		}
 	}
 }
 
-func (s *Server) write(sub *subscriber, frame []byte) error {
-	deadline := time.Now().Add(5 * time.Second)
+// armWriteDeadline keeps a write guard on conn without paying a clock
+// read and timer reset per batch: the deadline is armed on the first
+// batch after a wake-from-empty and every 256th batch of a sustained
+// burst (a burst that slow re-arms a fresh 5s window each time; a conn
+// that stalls outright still hits the last armed deadline within 5s).
+// The guard is a hang detector, not a precision timeout. Once Close
+// starts draining, the drain deadline wins and is always re-armed
+// exactly.
+func (s *Server) armWriteDeadline(sub *subscriber) {
 	if until := s.drainUntil.Load(); until != 0 {
+		deadline := time.Now().Add(5 * time.Second)
 		if d := time.Unix(0, until); d.Before(deadline) {
 			deadline = d
 		}
+		sub.conn.SetWriteDeadline(deadline)
+		sub.wcount = 1
+		return
 	}
-	sub.conn.SetWriteDeadline(deadline)
+	if sub.wcount&255 == 0 {
+		sub.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	}
+	sub.wcount++
+}
+
+// writeOne writes a single frame (handshake, heartbeat).
+func (s *Server) writeOne(sub *subscriber, frame []byte) error {
+	s.armWriteDeadline(sub)
 	_, err := sub.conn.Write(frame)
 	m := s.met()
 	if err != nil {
@@ -356,60 +585,89 @@ func (s *Server) write(sub *subscriber, frame []byte) error {
 	return err
 }
 
-func (s *Server) drop(sub *subscriber) {
-	s.mu.Lock()
-	if _, ok := s.subs[sub]; ok {
-		delete(s.subs, sub)
-		close(sub.ch)
+// writeEntries flushes a batch of ring entries: all frames in one writev
+// on TCP, or one coalesced Write elsewhere (wrapped and in-memory conns),
+// so a wakeup costs one syscall no matter how many flushes queued up.
+func (s *Server) writeEntries(sub *subscriber, es []ringEntry, bufs *net.Buffers, flat *[]byte) error {
+	*bufs = (*bufs)[:0]
+	for _, e := range es {
+		*bufs = append(*bufs, e.frames...)
 	}
-	n := len(s.subs)
-	s.mu.Unlock()
-	sub.conn.Close()
-	s.met().subscribers.Set(float64(n))
+	nf := len(*bufs)
+	if nf == 0 {
+		return nil
+	}
+	s.armWriteDeadline(sub)
+	var err error
+	switch {
+	case nf == 1:
+		_, err = sub.conn.Write((*bufs)[0])
+	case sub.isTCP:
+		v := *bufs // WriteTo consumes its receiver; keep our header intact
+		_, err = v.WriteTo(sub.conn)
+	case sub.bw != nil:
+		_, err = sub.bw.WriteBuffers(*bufs)
+	default:
+		*flat = (*flat)[:0]
+		for _, f := range *bufs {
+			*flat = append(*flat, f...)
+		}
+		_, err = sub.conn.Write(*flat)
+	}
+	m := s.met()
+	if err != nil {
+		m.writeErrors.Inc()
+	} else {
+		m.framesSent.Add(int64(nf))
+	}
+	return err
 }
 
-// evictLocked removes sub from the fan-out under s.mu (the caller holds
-// it), closing its queue and socket; the serve goroutine unwinds through
-// drop, which finds the map entry already gone.
-func (s *Server) evictLocked(sub *subscriber, why string) {
-	if _, ok := s.subs[sub]; !ok {
-		return
+// drop tears a subscriber down; idempotent across the serve defer, the
+// readLoop error path, and flusher-side eviction.
+func (s *Server) drop(sub *subscriber) {
+	sh := sub.shard
+	sh.mu.Lock()
+	if _, ok := sh.subs[sub]; ok {
+		sh.removeLocked(sub)
+		sub.ring.discard(s.releaseBroadcast)
+		sub.wakeWriter()
 	}
-	delete(s.subs, sub)
-	close(sub.ch)
+	sh.mu.Unlock()
 	sub.conn.Close()
-	s.logf("gateway: dropped subscriber %v (%s)", sub.conn.RemoteAddr(), why)
 }
 
 // SetHeartbeat changes the idle heartbeat period for subscribers that
 // connect afterwards (existing subscribers keep their period).
 func (s *Server) SetHeartbeat(d time.Duration) {
-	s.mu.Lock()
+	s.seqMu.Lock()
 	if d > 0 {
 		s.hbPeriod = d
+		s.hbTimer.Reset(d)
 	}
-	s.mu.Unlock()
+	s.seqMu.Unlock()
 }
 
 // SetHeartbeatPolicy sets both the heartbeat period and the number of
 // silent periods after which a pong-capable subscriber is declared dead.
 // Applies to subscribers that connect afterwards.
 func (s *Server) SetHeartbeatPolicy(period time.Duration, miss int) {
-	s.mu.Lock()
+	s.seqMu.Lock()
 	if period > 0 {
 		s.hbPeriod = period
+		s.hbTimer.Reset(period)
 	}
 	if miss > 0 {
 		s.hbMiss = miss
 	}
-	s.mu.Unlock()
+	s.seqMu.Unlock()
 }
 
 // SetReplay resizes the replay ring to keep the last n readings (0
 // disables replay: resumes still sequence, but recover nothing). The
 // ring restarts empty at the current sequence point.
 func (s *Server) SetReplay(n int) {
-	s.mu.Lock()
+	s.seqMu.Lock()
 	if n > 0 {
 		r := NewReplayRing(n)
 		r.next = s.nextSeq - uint64(len(s.pending))
@@ -422,17 +680,17 @@ func (s *Server) SetReplay(n int) {
 	} else {
 		s.ring = nil
 	}
-	s.mu.Unlock()
+	s.seqMu.Unlock()
 }
 
 // SetDrainTimeout bounds Close's graceful drain (how long pending frames
 // and the goodbye may take to reach slow subscribers).
 func (s *Server) SetDrainTimeout(d time.Duration) {
-	s.mu.Lock()
+	s.seqMu.Lock()
 	if d > 0 {
 		s.drainTimeout = d
 	}
-	s.mu.Unlock()
+	s.seqMu.Unlock()
 }
 
 // SetBatching coalesces published readings: a flush happens when max
@@ -441,7 +699,7 @@ func (s *Server) SetDrainTimeout(d time.Duration) {
 // flushAfter ≤ 0 selects a 25 ms deadline. Readings already pending are
 // flushed before the change takes effect.
 func (s *Server) SetBatching(max int, flushAfter time.Duration) {
-	s.mu.Lock()
+	s.seqMu.Lock()
 	s.flushLocked()
 	if max < 1 {
 		max = 1
@@ -451,17 +709,17 @@ func (s *Server) SetBatching(max int, flushAfter time.Duration) {
 	}
 	s.batchMax = max
 	s.flushAfter = flushAfter
-	s.mu.Unlock()
+	s.seqMu.Unlock()
 }
 
 // Publish broadcasts a reading to every subscriber, coalescing according
 // to SetBatching. The reading is assigned the next stream sequence and
-// retained in the replay ring. Subscribers whose queues are full are
-// disconnected. Publish never blocks.
+// retained in the replay ring. Subscribers whose rings are full are
+// disconnected. Publish never blocks on subscriber I/O.
 func (s *Server) Publish(rd Reading) {
-	s.mu.Lock()
+	s.seqMu.Lock()
 	if s.closed {
-		s.mu.Unlock()
+		s.seqMu.Unlock()
 		return
 	}
 	if len(s.pending) == 0 {
@@ -474,210 +732,104 @@ func (s *Server) Publish(rd Reading) {
 	s.pending = append(s.pending, rd)
 	if len(s.pending) >= s.batchMax {
 		s.flushLocked()
-	} else if s.flushTimer == nil {
-		s.flushTimer = time.AfterFunc(s.flushAfter, s.deadlineFlush)
+	} else if !s.timerArmed {
+		// One reusable timer instead of a fresh AfterFunc per partial
+		// batch: the steady-state publish path must not allocate.
+		if s.flushTimer == nil {
+			s.flushTimer = time.AfterFunc(s.flushAfter, s.deadlineFlush)
+		} else {
+			s.flushTimer.Reset(s.flushAfter)
+		}
+		s.timerArmed = true
 	}
-	s.mu.Unlock()
+	s.seqMu.Unlock()
 }
 
 // NextSeq returns the stream sequence the next published reading will
 // carry (1 on a fresh server).
 func (s *Server) NextSeq() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
 	return s.nextSeq
 }
 
 // Flush forces any pending readings onto the wire immediately.
 func (s *Server) Flush() {
-	s.mu.Lock()
+	s.seqMu.Lock()
 	s.flushLocked()
-	s.mu.Unlock()
+	s.seqMu.Unlock()
 }
 
 // deadlineFlush is the timer callback for a partial batch.
 func (s *Server) deadlineFlush() {
-	s.mu.Lock()
-	s.flushTimer = nil
+	s.seqMu.Lock()
+	s.timerArmed = false
 	s.flushLocked()
-	s.mu.Unlock()
+	s.seqMu.Unlock()
 }
 
-// flushLocked encodes the pending readings and enqueues them to every
-// subscriber: per-reading MsgReading frames for v1 subscribers, one
-// MsgReadingBatch frame (split only if a pathological batch overflows
-// the payload bound) for v2 subscribers, and sequence-prefixed
-// MsgSeqBatch frames for resumed subscribers. Callers hold s.mu.
+// flushLocked encodes the pending readings once — only the variants the
+// live census needs — and hands the broadcast arena to every shard
+// flusher. Per-subscriber work (ring pushes, evictions, socket writes)
+// happens downstream, off this lock. Callers hold seqMu.
 func (s *Server) flushLocked() {
-	if s.flushTimer != nil {
+	if s.timerArmed {
 		s.flushTimer.Stop()
-		s.flushTimer = nil
+		s.timerArmed = false
 	}
 	if len(s.pending) == 0 {
 		return
 	}
-	needV1, needV2, needSeq := false, false, false
-	for sub := range s.subs {
-		switch {
-		case sub.sequenced.Load():
-			needSeq = true
-		case sub.version.Load() >= ProtocolV2:
-			needV2 = true
-		default:
-			needV1 = true
-		}
-	}
-	var v1Frames, v2Frames, seqFrames [][]byte
-	if needV1 {
-		v1Frames = make([][]byte, 0, len(s.pending))
-		for _, rd := range s.pending {
-			s.v1Payload = AppendReading(s.v1Payload[:0], rd)
-			frame, err := EncodeFrame(MsgReading, s.v1Payload)
-			if err != nil {
-				s.logf("gateway: encode reading: %v", err)
-				continue
-			}
-			v1Frames = append(v1Frames, frame)
-		}
-	}
-	if needV2 {
-		v2Frames = s.appendBatchFrames(nil, s.pending)
-	}
-	if needSeq {
-		seqFrames = s.appendSeqBatchFrames(nil, s.pending, s.pendingFirst)
-	}
-	var tooSlow []*subscriber
-	for sub := range s.subs {
-		frames := v1Frames
-		switch {
-		case sub.sequenced.Load():
-			frames = seqFrames
-		case sub.version.Load() >= ProtocolV2:
-			frames = v2Frames
-		}
-		for _, frame := range frames {
-			select {
-			case sub.ch <- frame:
-			default:
-				tooSlow = append(tooSlow, sub)
-			}
-			if len(tooSlow) > 0 && tooSlow[len(tooSlow)-1] == sub {
-				break
-			}
-		}
-	}
-	// Remove saturated subscribers under the same lock so a second
-	// flush cannot double-close their channels.
-	for _, sub := range tooSlow {
-		delete(s.subs, sub)
-		close(sub.ch)
-		sub.conn.Close()
-		s.logf("gateway: dropped slow subscriber %v", sub.conn.RemoteAddr())
-	}
-	published := len(s.pending)
-	s.pending = s.pending[:0]
-	n := len(s.subs)
+	needV1 := s.cntV1.Load() > 0
+	needV2 := s.cntV2.Load() > 0
+	needSeq := s.cntSeq.Load() > 0
 	m := s.met()
-	m.readings.Add(int64(published))
-	if needV2 {
-		m.batches.Add(int64(len(v2Frames)))
+	if needV1 || needV2 || needSeq {
+		b := s.getBroadcast()
+		nBatch := s.encodeBroadcast(b, needV1, needV2, needSeq)
+		// One reference per shard; flushers add one per subscriber ring
+		// they land the arena in, then drop their own.
+		b.refs.Store(int64(len(s.shards)))
+		for _, sh := range s.shards {
+			sh.enqueue(shardEntry{kind: entryBroadcast, b: b})
+		}
+		if nBatch > 0 {
+			m.batches.Add(int64(nBatch))
+		}
 	}
-	if needSeq {
-		m.batches.Add(int64(len(seqFrames)))
-	}
-	m.slowDrops.Add(int64(len(tooSlow)))
-	m.subscribers.Set(float64(n))
-}
-
-// appendBatchFrames encodes readings as one MsgReadingBatch frame,
-// splitting recursively in the (pathological) case the encoded block
-// exceeds the frame payload bound.
-func (s *Server) appendBatchFrames(frames [][]byte, rds []Reading) [][]byte {
-	if len(rds) == 0 {
-		return frames
-	}
-	payload, err := AppendReadingBatch(s.v2Payload[:0], rds)
-	if err == ErrOversize && len(rds) > 1 {
-		half := len(rds) / 2
-		frames = s.appendBatchFrames(frames, rds[:half])
-		return s.appendBatchFrames(frames, rds[half:])
-	}
-	if err != nil {
-		s.logf("gateway: encode reading batch: %v", err)
-		return frames
-	}
-	s.v2Payload = payload[:0]
-	frame, err := EncodeFrame(MsgReadingBatch, payload)
-	if err != nil {
-		s.logf("gateway: encode batch frame: %v", err)
-		return frames
-	}
-	return append(frames, frame)
-}
-
-// appendSeqBatchFrames encodes readings as MsgSeqBatch frames starting at
-// firstSeq, splitting recursively on overflow like appendBatchFrames.
-func (s *Server) appendSeqBatchFrames(frames [][]byte, rds []Reading, firstSeq uint64) [][]byte {
-	if len(rds) == 0 {
-		return frames
-	}
-	payload, err := AppendSeqBatch(s.v2Payload[:0], firstSeq, rds)
-	if err == ErrOversize && len(rds) > 1 {
-		half := len(rds) / 2
-		frames = s.appendSeqBatchFrames(frames, rds[:half], firstSeq)
-		return s.appendSeqBatchFrames(frames, rds[half:], firstSeq+uint64(half))
-	}
-	if err != nil {
-		s.logf("gateway: encode seq batch: %v", err)
-		return frames
-	}
-	s.v2Payload = payload[:0]
-	frame, err := EncodeFrame(MsgSeqBatch, payload)
-	if err != nil {
-		s.logf("gateway: encode seq batch frame: %v", err)
-		return frames
-	}
-	return append(frames, frame)
+	m.readings.Add(int64(len(s.pending)))
+	s.pending = s.pending[:0]
 }
 
 // Subscribers returns the current subscriber count.
 func (s *Server) Subscribers() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.subs)
+	return int(s.subCount.Load())
 }
 
-// Close drains gracefully: flush pending readings, stop accepting,
-// enqueue a MsgGoodbye to every subscriber, bound all remaining socket
-// writes by the drain timeout, and wait for the server goroutines to
-// finish. Subscribers see the tail of the stream plus the goodbye rather
-// than a mid-frame reset.
+// Close drains gracefully: flush pending readings, stop accepting, queue
+// a MsgGoodbye to every subscriber, bound all remaining socket writes by
+// the drain timeout, and wait for the server goroutines to finish.
+// Subscribers see the tail of the stream plus the goodbye rather than a
+// mid-frame reset.
 func (s *Server) Close() error {
-	s.mu.Lock()
+	s.seqMu.Lock()
 	if s.closed {
-		s.mu.Unlock()
+		s.seqMu.Unlock()
 		return nil
 	}
 	s.flushLocked()
 	s.closed = true
+	close(s.hbDone)
 	err := s.ln.Close()
 	s.drainUntil.Store(time.Now().Add(s.drainTimeout).UnixNano())
-	goodbye, gerr := EncodeFrame(MsgGoodbye, nil)
-	for sub := range s.subs {
-		delete(s.subs, sub)
-		if gerr == nil {
-			select {
-			case sub.ch <- goodbye:
-			default: // queue full: the drain delivers what it can
-			}
-		}
-		// Closing the channel (not the conn) lets serve drain the queued
-		// frames — goodbye included — under the drain deadline; drop then
-		// closes the socket.
-		close(sub.ch)
+	// The shutdown entry is the last thing each flusher processes after
+	// the final flush (FIFO), so queued frames — goodbye included — still
+	// reach subscribers under the drain deadline.
+	for _, sh := range s.shards {
+		sh.enqueue(shardEntry{kind: entryShutdown})
+		sh.closeQueue()
 	}
-	s.mu.Unlock()
-	s.met().subscribers.Set(0)
+	s.seqMu.Unlock()
 	s.wg.Wait()
 	return err
 }

@@ -1,0 +1,187 @@
+package netmem
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func pair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln := Listen("t", 0)
+	defer ln.Close()
+	var (
+		srv net.Conn
+		aer error
+		wg  sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv, aer = ln.Accept()
+	}()
+	cli, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if aer != nil {
+		t.Fatal(aer)
+	}
+	return cli, srv
+}
+
+func TestRoundTrip(t *testing.T) {
+	cli, srv := pair(t)
+	defer cli.Close()
+	defer srv.Close()
+	msg := []byte("hello through memory")
+	go func() {
+		srv.Write(msg)
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(cli, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q want %q", got, msg)
+	}
+}
+
+// TestLargeTransfer pushes far more than the window through the pipe in
+// both directions at once, checking content integrity byte for byte.
+func TestLargeTransfer(t *testing.T) {
+	cli, srv := pair(t)
+	defer cli.Close()
+	defer srv.Close()
+	const total = 1 << 20
+	pattern := func(i int) byte { return byte(i*7 + i>>9) }
+	var wg sync.WaitGroup
+	for _, d := range []struct {
+		w net.Conn
+		r net.Conn
+	}{{srv, cli}, {cli, srv}} {
+		wg.Add(2)
+		go func(w net.Conn) {
+			defer wg.Done()
+			buf := make([]byte, 8192)
+			for off := 0; off < total; {
+				n := len(buf)
+				if total-off < n {
+					n = total - off
+				}
+				for i := 0; i < n; i++ {
+					buf[i] = pattern(off + i)
+				}
+				m, err := w.Write(buf[:n])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				off += m
+			}
+		}(d.w)
+		go func(r net.Conn) {
+			defer wg.Done()
+			buf := make([]byte, 8192)
+			for off := 0; off < total; {
+				n, err := r.Read(buf)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i := 0; i < n; i++ {
+					if buf[i] != pattern(off+i) {
+						t.Errorf("byte %d corrupted", off+i)
+						return
+					}
+				}
+				off += n
+			}
+		}(d.r)
+	}
+	wg.Wait()
+}
+
+func TestReadDeadline(t *testing.T) {
+	cli, srv := pair(t)
+	defer cli.Close()
+	defer srv.Close()
+	cli.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	start := time.Now()
+	_, err := cli.Read(make([]byte, 1))
+	if err == nil {
+		t.Fatal("read returned without data or deadline")
+	}
+	ne, ok := err.(net.Error)
+	if !ok || !ne.Timeout() {
+		t.Fatalf("want timeout net.Error, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline ignored")
+	}
+	// Clearing the deadline makes the conn usable again.
+	cli.SetReadDeadline(time.Time{})
+	go srv.Write([]byte{42})
+	b := make([]byte, 1)
+	if _, err := io.ReadFull(cli, b); err != nil || b[0] != 42 {
+		t.Fatalf("read after deadline clear: %v %v", b, err)
+	}
+}
+
+func TestWriteDeadlineOnFullWindow(t *testing.T) {
+	ln := Listen("t", 1024) // tiny window
+	defer ln.Close()
+	go ln.Accept() // accepted but never read
+	cli, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.SetWriteDeadline(time.Now().Add(30 * time.Millisecond))
+	_, err = cli.Write(make([]byte, 4096))
+	ne, ok := err.(net.Error)
+	if !ok || !ne.Timeout() {
+		t.Fatalf("want timeout net.Error, got %v", err)
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	cli, srv := pair(t)
+	// Data written before close still drains, then EOF.
+	if _, err := srv.Write([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	got, err := io.ReadAll(cli)
+	if err != nil {
+		t.Fatalf("drain after peer close: %v", err)
+	}
+	if string(got) != "tail" {
+		t.Fatalf("got %q want %q", got, "tail")
+	}
+	// Writes to a closed peer fail.
+	if _, err := cli.Write([]byte("x")); err == nil {
+		t.Fatal("write to closed peer succeeded")
+	}
+	cli.Close()
+}
+
+func TestListenerClose(t *testing.T) {
+	ln := Listen("t", 0)
+	done := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept()
+		done <- err
+	}()
+	ln.Close()
+	if err := <-done; err == nil {
+		t.Fatal("Accept returned nil after Close")
+	}
+	if _, err := ln.Dial(); err == nil {
+		t.Fatal("Dial succeeded after Close")
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package rlimit
+
+// RaiseNoFile is a no-op on platforms without RLIMIT_NOFILE.
+func RaiseNoFile(need uint64) uint64 { return need }

@@ -1,0 +1,39 @@
+//go:build unix
+
+// Package rlimit raises process resource limits, best-effort, for the
+// load harnesses that open tens of thousands of sockets.
+package rlimit
+
+import "syscall"
+
+// RaiseNoFile lifts the soft RLIMIT_NOFILE toward need (raising the hard
+// limit too when the process is privileged) and returns the resulting
+// soft limit. Failures are swallowed: callers treat the return value as
+// the budget they actually have.
+func RaiseNoFile(need uint64) uint64 {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return 0
+	}
+	if lim.Cur >= need {
+		return lim.Cur
+	}
+	// Privileged processes may raise the hard limit outright.
+	if lim.Max < need {
+		try := lim
+		try.Cur, try.Max = need, need
+		if syscall.Setrlimit(syscall.RLIMIT_NOFILE, &try) == nil {
+			return need
+		}
+	}
+	// Otherwise settle for soft = hard.
+	try := lim
+	try.Cur = lim.Max
+	if need < try.Cur {
+		try.Cur = need
+	}
+	if syscall.Setrlimit(syscall.RLIMIT_NOFILE, &try) == nil {
+		return try.Cur
+	}
+	return lim.Cur
+}
